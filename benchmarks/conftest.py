@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Simulated runs are deterministic, so pair results are cached per session:
+Figure 5, Figure 9 and Table 5 all consume the same 8-SPE pair runs, and
+the scaling figures reuse their own sweeps.  Each ``test_*`` benchmark
+measures one uncached simulation via ``benchmark.pedantic`` (a cycle
+simulator's wall time is itself a meaningful number) and then asserts the
+paper's *shape* claims on the cached results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import PairResult, run_pair, sweep
+from repro.bench.scale import builders, current_scale, spe_counts
+from repro.sim.config import latency1_config, paper_config
+
+_pair_cache: dict = {}
+_sweep_cache: dict = {}
+
+
+def pair_for(name: str, spes: int = 8, latency: str = "paper") -> PairResult:
+    """Cached with/without-prefetch pair for benchmark ``name``."""
+    key = (name, spes, latency, current_scale())
+    if key not in _pair_cache:
+        build = builders()[name]
+        cfg = (
+            latency1_config(spes) if latency == "one" else paper_config(spes)
+        )
+        _pair_cache[key] = run_pair(build(), cfg)
+    return _pair_cache[key]
+
+
+def sweep_for(name: str):
+    """Cached SPE sweep (Figures 6-8) for benchmark ``name``."""
+    key = (name, current_scale())
+    if key not in _sweep_cache:
+        _sweep_cache[key] = sweep(builders()[name], spes=spe_counts())
+        # Reuse the 8-SPE point for the pair cache too.
+        _pair_cache[(name, 8, "paper", current_scale())] = (
+            _sweep_cache[key].pairs[8]
+        )
+    return _sweep_cache[key]
+
+
+@pytest.fixture(scope="session")
+def all_pairs():
+    """8-SPE pair runs for all three benchmarks (Figures 5/9, Table 5)."""
+    return {name: pair_for(name) for name in ("bitcnt", "mmul", "zoom")}

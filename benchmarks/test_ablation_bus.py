@@ -1,0 +1,58 @@
+"""Ablation A5 — interconnect bandwidth.
+
+Sec. 4.3's bandwidth argument: "in case of no prefetching the CellDTA is
+not using all available bandwidth, since each READ instruction fetches
+only 4 bytes of data (and the network can support transfers of 32 bytes
+in one cycle).  On the other hand, when prefetching is used, DMA unit can
+fully utilize the bandwidth."
+
+Sweeping the bus count shows exactly that asymmetry: the DMA version
+responds to bandwidth, the scalar-READ version is latency-bound and
+barely notices.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.bench.report import format_table
+from repro.bench.runner import run_workload
+from repro.bench.scale import builders
+from repro.sim.config import paper_config
+
+
+def _with_buses(spes: int, buses: int):
+    cfg = paper_config(spes)
+    return cfg.replace(bus=dataclasses.replace(cfg.bus, num_buses=buses))
+
+
+def test_bus_bandwidth_sweep(benchmark):
+    workload = builders()["zoom"]()
+
+    def run(buses: int, prefetch: bool):
+        return run_workload(workload, _with_buses(8, buses), prefetch=prefetch)
+
+    pf1 = benchmark.pedantic(lambda: run(1, True), rounds=1, iterations=1)
+    pf4 = run(4, True)
+    base1 = run(1, False)
+    base4 = run(4, False)
+
+    rows = [
+        ["original", base1.cycles, base4.cycles,
+         f"{base1.cycles / base4.cycles:.2f}x"],
+        ["prefetch", pf1.cycles, pf4.cycles,
+         f"{pf1.cycles / pf4.cycles:.2f}x"],
+    ]
+    print()
+    print(format_table(["variant", "1 bus", "4 buses", "gain"], rows))
+
+    base_gain = base1.cycles / base4.cycles
+    pf_gain = pf1.cycles / pf4.cycles
+    # The scalar-READ baseline is latency-bound: quadrupling bandwidth
+    # changes little.
+    assert base_gain < 1.5
+    # Prefetching actually consumes bandwidth, so it must benefit at
+    # least as much as the baseline does.
+    assert pf_gain >= base_gain
+    # DMA moves the same bytes in far fewer, larger transfers.
+    assert pf4.stats.bus.transfers < base4.stats.bus.transfers

@@ -1,0 +1,75 @@
+"""Ablation A8 — data cache vs DMA prefetching.
+
+The paper's conclusion: "considering that prefetching introduces a little
+overhead, this indicates that this prefetching scheme can almost
+eliminate the need for caches."  The authors could only bound a perfect
+cache (the latency-1 study) because their cache module was "still under
+development"; this reproduction has one, so the comparison runs directly:
+
+* **baseline** — CellDTA, no cache, no prefetch (memory-stall bound);
+* **cache** — an 8 kB, 2-way, 64 B-line write-through cache per SPE;
+* **prefetch** — the paper's mechanism, no cache hardware at all.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import format_table
+from repro.bench.runner import run_workload
+from repro.bench.scale import builders
+from repro.sim.config import cached_config, paper_config
+
+
+def test_cache_vs_prefetch(benchmark):
+    rows = []
+    results = {}
+    cfg = paper_config(8)
+    ccfg = cached_config(8)
+    wl_mmul = builders()["mmul"]()
+    cached_run = benchmark.pedantic(
+        lambda: run_workload(wl_mmul, ccfg, prefetch=False),
+        rounds=1,
+        iterations=1,
+    )
+    for name, build in builders().items():
+        wl = build()
+        base = run_workload(wl, cfg, prefetch=False)
+        cached = (
+            cached_run if name == "mmul"
+            else run_workload(wl, ccfg, prefetch=False)
+        )
+        prefetch = run_workload(wl, cfg, prefetch=True)
+        results[name] = (base, cached, prefetch)
+        rows.append(
+            [
+                name,
+                base.cycles,
+                cached.cycles,
+                prefetch.cycles,
+                f"{cached.cycles / prefetch.cycles:.2f}x",
+            ]
+        )
+    print()
+    print("cache vs prefetch @8 SPEs, lat=150 (cache: 8kB/2-way/64B lines)")
+    print(
+        format_table(
+            ["benchmark", "baseline", "cache", "prefetch",
+             "cache/prefetch"],
+            rows,
+        )
+    )
+
+    for name, (base, cached, prefetch) in results.items():
+        # Both mechanisms demolish the baseline's memory stalls.
+        assert cached.cycles < base.cycles
+        assert prefetch.cycles < base.cycles
+    # The paper's claim, directly: for the regular (streaming) benchmarks
+    # prefetching lands in the same ballpark as real cache hardware.
+    for name in ("mmul", "zoom"):
+        base, cached, prefetch = results[name]
+        assert prefetch.cycles < 1.6 * cached.cycles, (
+            f"{name}: prefetching should nearly match a cache"
+        )
+    # bitcnt's irregular table lookups are where a cache still helps more
+    # than the (worthwhileness-limited) prefetcher — an honest caveat.
+    base, cached, prefetch = results["bitcnt"]
+    assert cached.cycles <= prefetch.cycles

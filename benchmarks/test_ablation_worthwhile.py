@@ -1,0 +1,56 @@
+"""Ablation A4 — the worthwhileness threshold (the bitcnt 62% point).
+
+The paper leaves ~38% of bitcnt's READs in place because prefetching a
+256-entry table for one data-dependent lookup is a loss.  Sweeping the
+pass's ``worthwhile_threshold`` reproduces both ends:
+
+* threshold 0 — prefetch *everything*, including the byte table: all
+  READs disappear but the PF overhead grows;
+* a moderate threshold — only the nibble table is prefetched (the
+  paper's configuration);
+* a huge threshold — nothing is prefetched; the transform degenerates to
+  the baseline.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import format_table
+from repro.bench.runner import run_workload
+from repro.bench.scale import builders
+from repro.compiler.passes import PrefetchOptions
+from repro.sim.config import paper_config
+
+
+def test_worthwhile_threshold_sweep(benchmark):
+    workload = builders()["bitcnt"]()
+    cfg = paper_config(8)
+    base = run_workload(workload, cfg, prefetch=False)
+
+    def run_at(threshold: float):
+        return run_workload(
+            workload, cfg, prefetch=True,
+            options=PrefetchOptions(worthwhile_threshold=threshold),
+        )
+
+    greedy = benchmark.pedantic(lambda: run_at(0.0), rounds=1, iterations=1)
+    paper_like = run_at(0.5)
+    never = run_at(1e9)
+
+    rows = [
+        ["baseline (no pass)", base.cycles, base.stats.mix.reads],
+        ["threshold=1e9 (never)", never.cycles, never.stats.mix.reads],
+        ["threshold=0.5 (paper)", paper_like.cycles, paper_like.stats.mix.reads],
+        ["threshold=0 (greedy)", greedy.cycles, greedy.stats.mix.reads],
+    ]
+    print()
+    print(format_table(["configuration", "cycles", "READs left"], rows))
+
+    # Never-prefetch degenerates to the baseline program.
+    assert never.stats.mix.reads == base.stats.mix.reads
+    assert never.cycles == base.cycles
+    # Greedy decouples everything.
+    assert greedy.stats.mix.reads == 0
+    # The paper's threshold keeps the dynamic byte-table READs.
+    assert 0 < paper_like.stats.mix.reads < base.stats.mix.reads
+    # And the selective configuration beats never-prefetch.
+    assert paper_like.cycles < never.cycles

@@ -1,0 +1,81 @@
+"""Tables 2, 3 and 4 — the simulated machine parameters.
+
+These are configuration tables, not measurements: the benchmark asserts
+that the default machine the whole harness runs on is exactly the one the
+paper describes, and prints the tables for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import format_table
+from repro.isa.opcodes import Op, spec_of
+from repro.sim.config import paper_config
+
+
+def test_table2_memory_parameters(benchmark):
+    cfg = benchmark.pedantic(paper_config, rounds=1, iterations=1)
+    assert cfg.main_memory.size == 512 * 1024 * 1024
+    assert cfg.main_memory.latency == 150
+    assert cfg.main_memory.ports == 1
+    assert cfg.local_store.size == 156 * 1024
+    assert cfg.local_store.latency == 6
+    assert cfg.local_store.ports == 3
+    print()
+    print("Table 2 — memory subsystem")
+    print(
+        format_table(
+            ["Memory", "Parameter", "Value"],
+            [
+                ["Main memory", "Size", "512 MB"],
+                ["", "Latency", f"{cfg.main_memory.latency} cycles"],
+                ["", "Ports", cfg.main_memory.ports],
+                ["Local Store", "Size", "156 kB"],
+                ["", "Latency", f"{cfg.local_store.latency} cycles"],
+                ["", "Ports", cfg.local_store.ports],
+            ],
+        )
+    )
+
+
+def test_table3_dma_command_format(benchmark):
+    spec = benchmark.pedantic(spec_of, args=(Op.DMAGET,), rounds=1, iterations=1)
+    # Table 3: LS address, MEM address, data size, tag ID.
+    fields = [f for f in spec.signature.split(",") if f]
+    assert fields == ["ra", "rb", "imm", "tag"], (
+        "DMAGET must take LS address, MEM address, size, tag"
+    )
+    print()
+    print("Table 3 — DMA command parameters")
+    print(
+        format_table(
+            ["Name", "Carried by"],
+            [
+                ["LS address", "register operand ra"],
+                ["MEM address", "register operand rb"],
+                ["Data size", "immediate"],
+                ["Tag ID", "tag field"],
+            ],
+        )
+    )
+
+
+def test_table4_communication_parameters(benchmark):
+    cfg = benchmark.pedantic(paper_config, rounds=1, iterations=1)
+    assert cfg.bus.num_buses == 4
+    assert cfg.bus.bytes_per_cycle == 8
+    assert cfg.bus.total_bandwidth == 32  # "transfers of 32 bytes in one cycle"
+    assert cfg.mfc.command_queue_size == 16
+    assert cfg.mfc.command_latency == 30
+    print()
+    print("Table 4 — communication subsystem")
+    print(
+        format_table(
+            ["Unit", "Parameter", "Value"],
+            [
+                ["Bus", "Number of buses", cfg.bus.num_buses],
+                ["", "BW of each bus", f"{cfg.bus.bytes_per_cycle} bytes/cycle"],
+                ["MFC", "Command queue size", cfg.mfc.command_queue_size],
+                ["", "Command latency", f"{cfg.mfc.command_latency} cycles"],
+            ],
+        )
+    )

@@ -1,0 +1,42 @@
+"""Figure 6 — bitcnt execution time and scalability (lat=150, 1-8 SPEs).
+
+Shape claims: prefetching gives bitcnt a modest speedup (paper: 1.13x —
+small because only ~62% of READs are decoupled and the benchmark is
+compute-heavy), execution time drops at every SPE count, and the
+benchmark scales with SPEs (it is the paper's scalability stressor),
+with prefetch scalability slightly worse than the original's.
+"""
+
+from __future__ import annotations
+
+from conftest import sweep_for
+
+from repro.bench.report import execution_table, scalability_table
+from repro.bench.runner import run_workload
+from repro.bench.scale import builders
+from repro.sim.config import paper_config
+
+
+def test_fig6_bitcnt_scaling(benchmark):
+    build = builders()["bitcnt"]
+    benchmark.pedantic(
+        lambda: run_workload(build(), paper_config(8), prefetch=False),
+        rounds=1,
+        iterations=1,
+    )
+    scaling = sweep_for("bitcnt")
+    print()
+    print(execution_table(scaling))
+    print()
+    print(scalability_table(scaling))
+
+    # 6a: prefetching wins at 8 SPEs, by a modest factor.
+    speedup = scaling.speedup_at(8)
+    assert 1.0 < speedup < 4.0, f"bitcnt speedup should be modest, got {speedup:.2f}"
+    # Execution time improves at every machine size.
+    for n, pair in scaling.pairs.items():
+        assert pair.prefetch.cycles < pair.base.cycles, f"no win at {n} SPEs"
+    # 6b: the benchmark scales (8 SPEs much faster than 1).
+    scal = scaling.scalability(prefetch=False)
+    assert scal[8] > 3.0
+    assert scal[2] > 1.5

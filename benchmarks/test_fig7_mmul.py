@@ -1,0 +1,47 @@
+"""Figure 7 — mmul execution time and scalability (lat=150, 1-8 SPEs).
+
+Shape claims: prefetching speeds mmul up by roughly an order of magnitude
+(paper: 11.18x at 8 SPEs), all global accesses are decoupled, and the
+prefetch version's scalability is somewhat worse than the original's
+("the scalability (in all cases) is a little worse with respect to the
+original architecture" — once memory stalls are gone there is less
+latency left for extra SPEs to hide).
+"""
+
+from __future__ import annotations
+
+from conftest import sweep_for
+
+from repro.bench.report import execution_table, scalability_table
+from repro.bench.runner import run_workload
+from repro.bench.scale import builders
+from repro.sim.config import paper_config
+
+
+def test_fig7_mmul_scaling(benchmark):
+    build = builders()["mmul"]
+    benchmark.pedantic(
+        lambda: run_workload(build(), paper_config(8), prefetch=True),
+        rounds=1,
+        iterations=1,
+    )
+    scaling = sweep_for("mmul")
+    print()
+    print(execution_table(scaling))
+    print()
+    print(scalability_table(scaling))
+
+    # 7a: order-of-magnitude win at 8 SPEs (paper: 11.18x).
+    speedup = scaling.speedup_at(8)
+    assert speedup > 5.0, f"mmul speedup should be large, got {speedup:.2f}"
+    for n, pair in scaling.pairs.items():
+        assert pair.prefetch.cycles < pair.base.cycles, f"no win at {n} SPEs"
+        assert pair.decoupled_fraction == 1.0, (
+            "prefetching decouples all mmul global accesses"
+        )
+    # 7b: original scales near-linearly (memory latency hiding);
+    # prefetch scalability is a little worse.
+    base_scal = scaling.scalability(prefetch=False)
+    pf_scal = scaling.scalability(prefetch=True)
+    assert base_scal[8] > 4.0
+    assert pf_scal[8] < base_scal[8] * 1.05

@@ -1,0 +1,44 @@
+"""Figure 8 — zoom execution time and scalability (lat=150, 1-8 SPEs).
+
+Shape claims: prefetching speeds zoom up by roughly an order of magnitude
+(paper: 11.48x at 8 SPEs — the largest of the three), all global reads
+are decoupled, and prefetch overhead is negligible (one big DMA per band
+amortized over a whole band of output pixels).
+"""
+
+from __future__ import annotations
+
+from conftest import sweep_for
+
+from repro.bench.report import execution_table, scalability_table
+from repro.bench.runner import run_workload
+from repro.bench.scale import builders
+from repro.sim.config import paper_config
+from repro.sim.stats import Bucket
+
+
+def test_fig8_zoom_scaling(benchmark):
+    build = builders()["zoom"]
+    benchmark.pedantic(
+        lambda: run_workload(build(), paper_config(8), prefetch=True),
+        rounds=1,
+        iterations=1,
+    )
+    scaling = sweep_for("zoom")
+    print()
+    print(execution_table(scaling))
+    print()
+    print(scalability_table(scaling))
+
+    speedup = scaling.speedup_at(8)
+    assert speedup > 5.0, f"zoom speedup should be large, got {speedup:.2f}"
+    for n, pair in scaling.pairs.items():
+        assert pair.prefetch.cycles < pair.base.cycles, f"no win at {n} SPEs"
+        assert pair.decoupled_fraction == 1.0
+    # "Prefetching overhead ... is negligible in case of zoom".
+    pf_frac = scaling.pairs[8].prefetch.stats.bucket_fractions()
+    assert pf_frac[Bucket.PREFETCH] < 0.05
+    # zoom has the biggest or near-biggest win of the three benchmarks
+    # (checked against mmul in test_latency1_study which loads both).
+    base_scal = scaling.scalability(prefetch=False)
+    assert base_scal[8] > 4.0

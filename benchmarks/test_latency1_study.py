@@ -1,0 +1,68 @@
+"""Section 4.3's latency-1 study — the "cache always hits" bound.
+
+The paper sets *all* memory latencies to one cycle to bound what a
+perfect cache would give, and finds: mmul speedup collapses to ~1.01x,
+zoom keeps a modest 1.34x (bandwidth, not latency), and **bitcnt slows
+down** because the prefetch overhead (34%) outweighs the tiny 5%
+memory-stall share.  "This indicates that this prefetching scheme can
+almost eliminate the need for caches."
+"""
+
+from __future__ import annotations
+
+from conftest import pair_for
+
+from repro.bench.report import format_table
+from repro.bench.runner import run_workload
+from repro.bench.scale import builders
+from repro.sim.config import latency1_config
+from repro.sim.stats import Bucket
+
+
+def test_latency1_study(benchmark):
+    build = builders()["mmul"]
+    benchmark.pedantic(
+        lambda: run_workload(build(), latency1_config(8), prefetch=True),
+        rounds=1,
+        iterations=1,
+    )
+    pairs = {
+        name: pair_for(name, spes=8, latency="one")
+        for name in ("bitcnt", "mmul", "zoom")
+    }
+    rows = []
+    for name, pair in pairs.items():
+        rows.append(
+            [
+                name,
+                pair.base.cycles,
+                pair.prefetch.cycles,
+                f"{pair.speedup:.2f}x",
+                f"{100 * pair.prefetch.stats.bucket_fractions()[Bucket.PREFETCH]:.1f}%",
+            ]
+        )
+    print()
+    print("Latency-1 study (all memory latencies = 1 cycle)")
+    print(
+        format_table(
+            ["benchmark", "original", "prefetch", "speedup", "PF overhead"],
+            rows,
+        )
+    )
+
+    # mmul: prefetching gives (almost) nothing when memory is free.
+    assert 0.8 < pairs["mmul"].speedup < 2.0
+    # bitcnt: the benefit vanishes — prefetch overhead eats the gain.
+    # (The paper measures a slight slowdown; we land at break-even, the
+    # residual difference being our interconnect round-trip cost on the
+    # READs that remain.  See EXPERIMENTS.md, experiment L1.)
+    assert pairs["bitcnt"].speedup < 1.1
+    # Baseline memory stalls are tiny at latency 1 ("only 5% of the time
+    # was spent waiting for memory").
+    assert (
+        pairs["bitcnt"].base.stats.bucket_fractions()[Bucket.MEM_STALL] < 0.30
+    )
+    # The latency-1 speedups are far below the latency-150 ones: the win
+    # comes from hiding memory latency.
+    lat150 = pair_for("mmul", spes=8, latency="paper")
+    assert lat150.speedup > 3 * pairs["mmul"].speedup

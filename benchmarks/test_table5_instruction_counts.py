@@ -1,0 +1,66 @@
+"""Table 5 — dynamic instruction counts (total, LOAD, STORE, READ, WRITE).
+
+Absolute counts differ from the paper's (scaled-down inputs, scalar ISA),
+but the *profile* per benchmark must match:
+
+* bitcnt — frame traffic (LOAD/STORE) dominates memory instructions;
+  READs are a small share of total instructions; a few WRITEs.
+* mmul   — READ = 2*n**3 exactly, WRITE = n**2 exactly, frame traffic
+  negligible ("the number of accesses to frame memory is negligible").
+* zoom   — READ = 2 * WRITE (two source pixels per output pixel), frame
+  traffic negligible.
+"""
+
+from __future__ import annotations
+
+from conftest import pair_for
+
+from repro.bench.report import table5
+from repro.bench.runner import run_workload
+from repro.bench.scale import SCALES, builders, current_scale
+from repro.sim.config import paper_config
+
+
+def test_table5_counts(benchmark, all_pairs):
+    # Measure one representative baseline run.
+    build = builders()["mmul"]
+    benchmark.pedantic(
+        lambda: run_workload(build(), paper_config(8), prefetch=False),
+        rounds=1,
+        iterations=1,
+    )
+
+    runs = {name: pair.base for name, pair in all_pairs.items()}
+    print()
+    print(table5(runs))
+
+    params = SCALES[current_scale()]
+    n = params["mmul"]["n"]
+    mmul = runs["mmul"].stats.mix
+    assert mmul.reads == 2 * n**3
+    assert mmul.writes == n**2
+    assert mmul.loads + mmul.stores < 0.01 * mmul.total
+
+    zn, zz = params["zoom"]["n"], params["zoom"]["z"]
+    zoom = runs["zoom"].stats.mix
+    assert zoom.writes == (zn * zz) ** 2
+    assert zoom.reads == 2 * zoom.writes
+    assert zoom.loads + zoom.stores < 0.01 * zoom.total
+
+    bit = runs["bitcnt"].stats.mix
+    assert bit.loads + bit.stores > bit.reads, (
+        "bitcnt exchanges data mostly through frame memory"
+    )
+    assert bit.reads < 0.10 * bit.total
+    assert bit.writes == params["bitcnt"]["iterations"]
+
+
+def test_table5_prefetch_rewrites_reads(all_pairs, benchmark):
+    """After the pass, mmul/zoom READs are gone; bitcnt keeps ~1/3."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert all_pairs["mmul"].prefetch.stats.mix.reads == 0
+    assert all_pairs["zoom"].prefetch.stats.mix.reads == 0
+    frac = all_pairs["bitcnt"].decoupled_fraction
+    assert 0.5 < frac < 0.8, (
+        f"paper decouples 62% of bitcnt READs; measured {frac:.0%}"
+    )

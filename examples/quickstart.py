@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's headline experiment in thirty lines.
+
+Builds the mmul benchmark, runs it on an 8-SPE CellDTA machine with the
+paper's memory parameters (150-cycle main memory), then applies the
+DMA-prefetch compiler pass and runs again — reproducing the central
+claim: prefetching turns a memory-stall-bound execution into a
+compute-bound one, roughly an order of magnitude faster.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import paper_config, prefetch_transform, run_activity
+from repro.sim.stats import Bucket
+from repro.workloads import matmul
+
+
+def main() -> None:
+    workload = matmul.build(n=16, threads=16)
+    config = paper_config(num_spes=8)
+
+    print(f"machine: {config.num_spes} SPEs, "
+          f"memory latency {config.main_memory.latency} cycles")
+    print(f"workload: {workload.name}")
+    print()
+
+    # Original DTA: global READs block the pipeline.
+    base = run_activity(workload.activity, config)
+
+    # This paper: the compiler adds PF code blocks that program the DMA
+    # unit; READs become local-store LOADs; threads wait for DMA off the
+    # pipeline.
+    prefetched = prefetch_transform(workload.activity)
+    fast = run_activity(prefetched, config)
+
+    for label, run in (("original DTA", base), ("with prefetching", fast)):
+        frac = run.stats.bucket_fractions()
+        print(f"{label:18s}: {run.cycles:8d} cycles   "
+              f"working {frac[Bucket.WORKING]:5.1%}   "
+              f"memory stalls {frac[Bucket.MEM_STALL]:5.1%}   "
+              f"prefetch overhead {frac[Bucket.PREFETCH]:5.1%}")
+    print()
+    print(f"speedup: {base.cycles / fast.cycles:.2f}x "
+          f"(paper, mmul(32) on 8 SPEs: 11.18x)")
+    print(f"READs left in the program: {base.stats.mix.reads} -> "
+          f"{fast.stats.mix.reads}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Scaling study: regenerate the paper's Figures 6-9 series at one go.
+
+Sweeps 1..8 SPEs for all three benchmarks, with and without prefetching,
+and prints the execution-time, scalability and pipeline-usage tables the
+paper plots — plus the latency-1 "perfect cache" bound of Section 4.3.
+
+Run:  python examples/scaling_study.py            (default scale)
+      REPRO_BENCH_SCALE=test python examples/scaling_study.py   (fast)
+"""
+
+from repro.bench import (
+    breakdown_table,
+    builders,
+    execution_table,
+    pipeline_usage_table,
+    run_pair,
+    scalability_table,
+    sweep,
+)
+from repro.sim.config import latency1_config, paper_config
+
+
+def main() -> None:
+    pairs_at_8 = {}
+    for name, build in builders().items():
+        scaling = sweep(build, spes=(1, 2, 4, 8))
+        pairs_at_8[name] = scaling.pairs[8]
+        print(execution_table(scaling))
+        print()
+        print(scalability_table(scaling))
+        print()
+
+    print(breakdown_table(pairs_at_8, prefetch=False))
+    print()
+    print(breakdown_table(pairs_at_8, prefetch=True))
+    print()
+    print(pipeline_usage_table(pairs_at_8))
+    print()
+
+    print("Latency-1 study (Sec. 4.3: 'the best situation when cache")
+    print("accesses would always hit'):")
+    for name, build in builders().items():
+        pair = run_pair(build(), latency1_config(8))
+        lat150 = pairs_at_8[name]
+        print(
+            f"  {name:7s}: speedup {pair.speedup:5.2f}x at latency 1 "
+            f"(vs {lat150.speedup:5.2f}x at latency 150)"
+        )
+
+
+if __name__ == "__main__":
+    main()

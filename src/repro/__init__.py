@@ -1,0 +1,72 @@
+"""repro — a reproduction of "Exploiting DMA to enable non-blocking
+execution in Decoupled Threaded Architecture" (Giorgi, Popovic, Puzovic,
+IPPS/IPDPS workshops 2009).
+
+The package provides:
+
+* ``repro.sim`` — an event-skipping cycle engine, machine configuration
+  (the paper's Tables 2/3/4) and statistics (Figures 5/9, Table 5);
+* ``repro.isa`` — the DTA/SPU instruction set and an assembler DSL;
+* ``repro.core`` — DTA threads, frames, synchronization counters and the
+  distributed scheduler (LSE + DSE);
+* ``repro.cell`` — the CellDTA machine model (SPU pipelines, Local
+  Stores, MFC/DMA, bus, main memory, PPE);
+* ``repro.compiler`` — the paper's contribution: the prefetch
+  transformation that adds PF code blocks and rewrites global READs into
+  local-store LOADs;
+* ``repro.workloads`` — the paper's benchmarks (bitcnt, mmul, zoom) as
+  parameterized DTA activity generators;
+* ``repro.bench`` — the experiment harness regenerating every table and
+  figure of the evaluation.
+
+Quickstart
+----------
+>>> from repro import paper_config, run_activity, prefetch_transform
+>>> from repro.workloads import matmul
+>>> wl = matmul.build(n=8, threads=4)
+>>> base = run_activity(wl.activity, paper_config(num_spes=4))
+>>> pf = run_activity(prefetch_transform(wl.activity), paper_config(num_spes=4))
+>>> base.cycles > pf.cycles
+True
+"""
+
+from repro.cell.machine import Machine, RunResult, run_activity
+from repro.compiler import PrefetchOptions, prefetch_transform
+from repro.core.activity import (
+    GlobalObject,
+    ObjRef,
+    SpawnRef,
+    SpawnSpec,
+    TLPActivity,
+)
+from repro.isa import BlockKind, ThreadBuilder, ThreadProgram
+from repro.isa.interpreter import FunctionalMachine, run_functional
+from repro.sim.config import MachineConfig, latency1_config, paper_config
+from repro.sim.stats import Bucket, MachineStats, TimeBreakdown
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "RunResult",
+    "run_activity",
+    "TLPActivity",
+    "GlobalObject",
+    "SpawnSpec",
+    "ObjRef",
+    "SpawnRef",
+    "ThreadBuilder",
+    "ThreadProgram",
+    "BlockKind",
+    "FunctionalMachine",
+    "run_functional",
+    "MachineConfig",
+    "paper_config",
+    "latency1_config",
+    "prefetch_transform",
+    "PrefetchOptions",
+    "Bucket",
+    "TimeBreakdown",
+    "MachineStats",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Experiment harness: runners, scales and paper-style reports."""
+
+from repro.bench.report import (
+    breakdown_table,
+    execution_table,
+    format_table,
+    pipeline_usage_table,
+    scalability_table,
+    table5,
+)
+from repro.bench.runner import (
+    PairResult,
+    ScalingResult,
+    run_pair,
+    run_workload,
+    sweep,
+)
+from repro.bench.scale import SCALES, builders, current_scale, spe_counts
+from repro.bench.timeline import Timeline, render_timeline
+
+__all__ = [
+    "run_pair",
+    "run_workload",
+    "sweep",
+    "PairResult",
+    "ScalingResult",
+    "breakdown_table",
+    "execution_table",
+    "scalability_table",
+    "pipeline_usage_table",
+    "table5",
+    "format_table",
+    "SCALES",
+    "builders",
+    "current_scale",
+    "spe_counts",
+    "Timeline",
+    "render_timeline",
+]

@@ -1,0 +1,173 @@
+"""Machine-readable experiment exports.
+
+Renders run results into plain dictionaries / JSON / CSV so users can
+plot the paper's figures with their own tooling, and provides
+:func:`reproduce_all` — a single call that executes every experiment of
+EXPERIMENTS.md and returns (or writes) the complete result set.
+
+Used by ``python -m repro reproduce``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Mapping
+
+from repro.bench.runner import PairResult, ScalingResult, run_pair, sweep
+from repro.bench.scale import builders, current_scale, spe_counts
+from repro.cell.machine import RunResult
+from repro.sim.config import latency1_config, paper_config
+from repro.sim.stats import Bucket
+
+__all__ = [
+    "run_to_dict",
+    "pair_to_dict",
+    "scaling_to_dict",
+    "scaling_to_csv",
+    "reproduce_all",
+    "to_json",
+]
+
+
+def run_to_dict(run: RunResult) -> dict:
+    """Flatten one run into JSON-serializable primitives."""
+    mix = run.stats.mix.table5_row()
+    return {
+        "activity": run.activity,
+        "prefetch": run.prefetch,
+        "cycles": run.cycles,
+        "spes": run.config.num_spes,
+        "memory_latency": run.config.main_memory.latency,
+        "breakdown": {
+            b: run.stats.average_breakdown.fraction(b) for b in Bucket.ALL
+        },
+        "pipeline_usage": run.stats.average_pipeline_usage,
+        "instructions": {
+            "total": mix["total"],
+            "load": mix["LOAD"],
+            "store": mix["STORE"],
+            "read": mix["READ"],
+            "write": mix["WRITE"],
+        },
+        "dma": {
+            "commands": run.stats.mfc.commands,
+            "bytes": run.stats.mfc.bytes_transferred,
+        },
+        "scheduler": {
+            "fallocs": run.stats.scheduler.fallocs,
+            "falloc_waits": run.stats.scheduler.falloc_waits,
+            "remote_stores": run.stats.scheduler.remote_stores,
+        },
+        "bus": {
+            "transfers": run.stats.bus.transfers,
+            "bytes": run.stats.bus.bytes_moved,
+        },
+    }
+
+
+def pair_to_dict(pair: PairResult) -> dict:
+    return {
+        "workload": pair.workload,
+        "speedup": pair.speedup,
+        "decoupled_fraction": pair.decoupled_fraction,
+        "base": run_to_dict(pair.base),
+        "prefetch": run_to_dict(pair.prefetch),
+    }
+
+
+def scaling_to_dict(scaling: ScalingResult) -> dict:
+    return {
+        "workload": scaling.workload,
+        "points": {
+            str(n): pair_to_dict(p) for n, p in sorted(scaling.pairs.items())
+        },
+        "scalability": {
+            "base": {str(k): v for k, v in scaling.scalability(False).items()},
+            "prefetch": {
+                str(k): v for k, v in scaling.scalability(True).items()
+            },
+        },
+    }
+
+
+def scaling_to_csv(scaling: ScalingResult) -> str:
+    """One row per (SPE count, variant) — ready for a spreadsheet."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(
+        ["workload", "spes", "variant", "cycles", "speedup_vs_base",
+         "mem_stall_frac", "pipeline_usage"]
+    )
+    for n, pair in sorted(scaling.pairs.items()):
+        for variant, run in (("base", pair.base), ("prefetch", pair.prefetch)):
+            writer.writerow(
+                [
+                    scaling.workload,
+                    n,
+                    variant,
+                    run.cycles,
+                    f"{pair.speedup:.4f}" if variant == "prefetch" else "1.0",
+                    f"{run.stats.average_breakdown.fraction(Bucket.MEM_STALL):.4f}",
+                    f"{run.stats.average_pipeline_usage:.4f}",
+                ]
+            )
+    return out.getvalue()
+
+
+def reproduce_all(
+    scale: str | None = None,
+    spes: "tuple[int, ...] | None" = None,
+    progress=None,
+) -> dict:
+    """Execute the full experiment matrix (Figures 5-9, Table 5, L1).
+
+    Returns a JSON-serializable dictionary keyed by experiment id.
+    ``progress`` (if given) is called with a status line per step.
+    """
+    def log(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    scale = scale or current_scale()
+    axis = spes or spe_counts()
+    result: dict = {"scale": scale, "spes": list(axis), "experiments": {}}
+    scalings: dict[str, ScalingResult] = {}
+    for name, build in builders(scale).items():
+        log(f"sweeping {name} over {axis} SPEs ...")
+        scalings[name] = sweep(build, spes=axis)
+    result["experiments"]["scaling"] = {
+        name: scaling_to_dict(s) for name, s in scalings.items()
+    }
+    pairs_at_max = {
+        name: s.pairs[max(axis)] for name, s in scalings.items()
+    }
+    result["experiments"]["table5"] = {
+        name: run_to_dict(p.base)["instructions"]
+        for name, p in pairs_at_max.items()
+    }
+    result["experiments"]["fig5"] = {
+        name: {
+            "base": run_to_dict(p.base)["breakdown"],
+            "prefetch": run_to_dict(p.prefetch)["breakdown"],
+        }
+        for name, p in pairs_at_max.items()
+    }
+    result["experiments"]["fig9"] = {
+        name: {
+            "base": p.base.stats.average_pipeline_usage,
+            "prefetch": p.prefetch.stats.average_pipeline_usage,
+        }
+        for name, p in pairs_at_max.items()
+    }
+    log("latency-1 study ...")
+    result["experiments"]["latency1"] = {}
+    for name, build in builders(scale).items():
+        pair = run_pair(build(), latency1_config(max(axis)))
+        result["experiments"]["latency1"][name] = pair_to_dict(pair)
+    return result
+
+
+def to_json(data: Mapping, indent: int = 2) -> str:
+    return json.dumps(data, indent=indent, sort_keys=True)

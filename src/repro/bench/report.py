@@ -1,0 +1,120 @@
+"""Paper-style text renderings of every table and figure.
+
+The harness does not plot; it prints the same rows/series the paper's
+figures show, so a reader can compare shapes directly:
+
+* :func:`breakdown_table`   — Figure 5 (per-benchmark time breakdown);
+* :func:`execution_table`   — Figures 6a/7a/8a (execution time vs SPEs);
+* :func:`scalability_table` — Figures 6b/7b/8b (speedup vs 1 SPE);
+* :func:`pipeline_usage_table` — Figure 9;
+* :func:`table5`            — Table 5 (dynamic instruction counts).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.bench.runner import PairResult, ScalingResult
+from repro.cell.machine import RunResult
+from repro.sim.stats import Bucket
+
+__all__ = [
+    "format_table",
+    "breakdown_table",
+    "execution_table",
+    "scalability_table",
+    "pipeline_usage_table",
+    "table5",
+]
+
+_BUCKET_LABELS = {
+    Bucket.WORKING: "Working",
+    Bucket.IDLE: "Idle",
+    Bucket.MEM_STALL: "Memory stalls",
+    Bucket.LS_STALL: "LS stalls",
+    Bucket.LSE_STALL: "LSE stalls",
+    Bucket.PREFETCH: "Prefetching",
+}
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in r] for r in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for ri, row in enumerate(cells):
+        lines.append(
+            "  ".join(c.rjust(w) if ri else c.ljust(w)
+                      for c, w in zip(row, widths))
+        )
+        if ri == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _pct(x: float) -> str:
+    return f"{100 * x:5.1f}%"
+
+
+def breakdown_table(pairs: Mapping[str, PairResult], prefetch: bool) -> str:
+    """Figure 5a (no prefetching) or 5b (with prefetching)."""
+    headers = ["benchmark"] + [_BUCKET_LABELS[b] for b in Bucket.ALL]
+    rows = []
+    for name, pair in pairs.items():
+        run = pair.prefetch if prefetch else pair.base
+        fr = run.stats.bucket_fractions()
+        rows.append([name] + [_pct(fr[b]) for b in Bucket.ALL])
+    title = "with prefetching" if prefetch else "no prefetching"
+    return f"Figure 5 ({title}) — average SPU time breakdown\n" + format_table(
+        headers, rows
+    )
+
+
+def execution_table(scaling: ScalingResult) -> str:
+    """Figures 6a/7a/8a: execution time (cycles) vs SPE count."""
+    headers = ["SPEs", "original (cycles)", "prefetch (cycles)", "speedup"]
+    rows = []
+    for n, pair in sorted(scaling.pairs.items()):
+        rows.append(
+            [n, pair.base.cycles, pair.prefetch.cycles, f"{pair.speedup:.2f}x"]
+        )
+    return (
+        f"Execution time — {scaling.workload}\n" + format_table(headers, rows)
+    )
+
+
+def scalability_table(scaling: ScalingResult) -> str:
+    """Figures 6b/7b/8b: speedup relative to the smallest machine."""
+    base = scaling.scalability(prefetch=False)
+    pf = scaling.scalability(prefetch=True)
+    headers = ["SPEs", "original", "prefetch"]
+    rows = [[n, f"{base[n]:.2f}", f"{pf[n]:.2f}"] for n in sorted(base)]
+    return f"Scalability — {scaling.workload}\n" + format_table(headers, rows)
+
+
+def pipeline_usage_table(pairs: Mapping[str, PairResult]) -> str:
+    """Figure 9: pipeline usage with and without prefetching."""
+    headers = ["benchmark", "no prefetch", "with prefetch"]
+    rows = []
+    for name, pair in pairs.items():
+        rows.append(
+            [
+                name,
+                _pct(pair.base.stats.average_pipeline_usage),
+                _pct(pair.prefetch.stats.average_pipeline_usage),
+            ]
+        )
+    return "Figure 9 — pipeline usage\n" + format_table(headers, rows)
+
+
+def table5(runs: Mapping[str, RunResult]) -> str:
+    """Table 5: dynamic instruction counts per benchmark (baseline runs)."""
+    headers = ["Benchmark", "Total", "LOAD", "STORE", "READ", "WRITE"]
+    rows = []
+    for name, run in runs.items():
+        row = run.stats.mix.table5_row()
+        rows.append(
+            [name, row["total"], row["LOAD"], row["STORE"], row["READ"],
+             row["WRITE"]]
+        )
+    return "Table 5 — executed instructions\n" + format_table(headers, rows)

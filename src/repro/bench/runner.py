@@ -1,0 +1,130 @@
+"""Experiment runner: the with/without-prefetching comparisons.
+
+Every figure and table of the paper's evaluation reduces to one of two
+experiment shapes:
+
+* a **pair run** — the same workload executed on the same machine with
+  and without the prefetch transformation (Figures 5 and 9, Table 5, the
+  latency-1 study); or
+* a **scaling sweep** — pair runs repeated for 1..8 SPEs (Figures 6-8).
+
+:func:`run_pair` and :func:`sweep` implement those shapes, verify every
+run against the workload oracle (a run that produces wrong answers must
+never contribute a data point), and return plain dataclasses the report
+module renders into paper-style tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.cell.machine import Machine, RunResult
+from repro.compiler.passes import PrefetchOptions, prefetch_transform
+from repro.sim.config import MachineConfig, paper_config
+from repro.workloads.common import Workload, check_outputs
+
+__all__ = ["PairResult", "ScalingResult", "run_workload", "run_pair", "sweep"]
+
+
+@dataclass
+class PairResult:
+    """One with/without-prefetching comparison."""
+
+    workload: str
+    config: MachineConfig
+    base: RunResult
+    prefetch: RunResult
+
+    @property
+    def speedup(self) -> float:
+        """Execution-time ratio base / prefetch (the paper's headline)."""
+        return self.base.cycles / self.prefetch.cycles
+
+    @property
+    def decoupled_fraction(self) -> float:
+        """Fraction of baseline READs removed by the transformation."""
+        base_reads = self.base.stats.mix.reads
+        if base_reads == 0:
+            return 0.0
+        return 1.0 - self.prefetch.stats.mix.reads / base_reads
+
+
+@dataclass
+class ScalingResult:
+    """A Figures 6-8 style sweep over SPE counts."""
+
+    workload: str
+    pairs: dict[int, PairResult] = field(default_factory=dict)
+
+    def speedup_at(self, spes: int) -> float:
+        return self.pairs[spes].speedup
+
+    def scalability(self, prefetch: bool) -> dict[int, float]:
+        """Execution time at 1 SPE divided by time at N SPEs."""
+        pick = (lambda p: p.prefetch.cycles) if prefetch else (
+            lambda p: p.base.cycles
+        )
+        baseline = pick(self.pairs[min(self.pairs)])
+        return {n: baseline / pick(p) for n, p in sorted(self.pairs.items())}
+
+
+def run_workload(
+    workload: Workload,
+    config: MachineConfig,
+    prefetch: bool,
+    options: PrefetchOptions | None = None,
+    max_cycles: int = 500_000_000,
+    verify: bool = True,
+) -> RunResult:
+    """Run one variant of a workload, verifying outputs."""
+    activity = workload.activity
+    if prefetch:
+        activity = prefetch_transform(activity, options)
+    machine = Machine(config)
+    machine.load(activity)
+    result = machine.run(max_cycles=max_cycles)
+    if verify:
+        errors = check_outputs(workload, machine)
+        if errors:
+            raise AssertionError(
+                f"{workload.name} ({'PF' if prefetch else 'base'}): wrong "
+                f"output:\n" + "\n".join(errors[:10])
+            )
+    return result
+
+
+def run_pair(
+    workload: Workload,
+    config: MachineConfig | None = None,
+    options: PrefetchOptions | None = None,
+    max_cycles: int = 500_000_000,
+) -> PairResult:
+    """Run a workload with and without prefetching on the same machine."""
+    cfg = config if config is not None else paper_config()
+    return PairResult(
+        workload=workload.name,
+        config=cfg,
+        base=run_workload(workload, cfg, prefetch=False, max_cycles=max_cycles),
+        prefetch=run_workload(
+            workload, cfg, prefetch=True, options=options, max_cycles=max_cycles
+        ),
+    )
+
+
+def sweep(
+    build: Callable[[], Workload],
+    spes: Sequence[int] = (1, 2, 4, 8),
+    config_for: Callable[[int], MachineConfig] = paper_config,
+    options: PrefetchOptions | None = None,
+) -> ScalingResult:
+    """Pair runs across SPE counts (the Figures 6-8 axes).
+
+    ``build`` is called once; the same workload (hence identical inputs
+    and oracle) is reused across machine sizes.
+    """
+    workload = build()
+    result = ScalingResult(workload=workload.name)
+    for n in spes:
+        result.pairs[n] = run_pair(workload, config_for(n), options=options)
+    return result

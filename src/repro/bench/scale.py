@@ -1,0 +1,66 @@
+"""Benchmark workload scales.
+
+The paper runs bitcnt(10000), mmul(32) and zoom(32) — sizes chosen for a
+compiled C++ simulator.  A pure-Python cycle simulator trades absolute
+scale for turn-around, so the harness defines three scales and reads the
+``REPRO_BENCH_SCALE`` environment variable (``test`` / ``default`` /
+``paper``) to pick one.  Shape claims (who wins, by what factor, where
+the breakdown mass sits) are stable across scales; EXPERIMENTS.md records
+the defaults used.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.workloads import bitcount, matmul, zoom
+from repro.workloads.common import Workload
+
+__all__ = ["SCALES", "current_scale", "builders", "spe_counts"]
+
+SCALES: dict[str, dict[str, dict]] = {
+    # Small: CI-friendly, < a second per run.
+    "test": {
+        "bitcnt": dict(iterations=24),
+        "mmul": dict(n=8, threads=8),
+        "zoom": dict(n=8, z=4, threads=8),
+    },
+    # Default: a few seconds per run, stable fractions.
+    "default": {
+        "bitcnt": dict(iterations=96),
+        "mmul": dict(n=16, threads=16),
+        "zoom": dict(n=16, z=4, threads=16),
+    },
+    # Paper-scale inputs (bitcnt iteration count still reduced: the
+    # paper's 10000 iterations are ~2.5M simulated instructions).
+    "paper": {
+        "bitcnt": dict(iterations=512),
+        "mmul": dict(n=32, threads=16),
+        "zoom": dict(n=32, z=4, threads=16),
+    },
+}
+
+
+def current_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "default")
+    if scale not in SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE={scale!r} (expected one of {sorted(SCALES)})"
+        )
+    return scale
+
+
+def builders(scale: str | None = None) -> dict[str, Callable[[], Workload]]:
+    """Zero-argument builders for the three benchmarks at ``scale``."""
+    params = SCALES[scale or current_scale()]
+    return {
+        "bitcnt": lambda: bitcount.build(**params["bitcnt"]),
+        "mmul": lambda: matmul.build(**params["mmul"]),
+        "zoom": lambda: zoom.build(**params["zoom"]),
+    }
+
+
+def spe_counts(scale: str | None = None) -> tuple[int, ...]:
+    """The SPE sweep axis (paper: 1..8)."""
+    return (1, 2, 4, 8)

@@ -1,0 +1,121 @@
+"""Element interconnect bus.
+
+The Cell EIB is modeled as ``num_buses`` parallel channels of
+``bytes_per_cycle`` each (Table 4: four buses of 8 bytes/cycle).  A
+transfer occupies one channel for ``ceil(size / width)`` cycles plus a
+fixed arbitration latency; queued transfers are granted to free channels
+in FIFO order, which approximates the EIB's round-robin arbitration while
+staying deterministic.
+
+Endpoints are any object with a ``deliver(msg)`` method and a ``node_id``
+attribute; transfers whose source and destination sit on different DTA
+nodes pay the configured inter-node latency on top (paper Sec. 2: "the
+communication between nodes is slower as we rely on a more complex
+interconnection network").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.messages import Message
+from repro.sim.component import Component
+from repro.sim.config import BusConfig
+from repro.sim.stats import BusStats
+
+__all__ = ["Bus", "BusEndpoint"]
+
+
+class BusEndpoint:
+    """Mixin giving a component a bus address."""
+
+    node_id: int = 0
+
+    def deliver(self, msg: Message) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass
+class _Transfer:
+    src_node: int
+    dst: BusEndpoint
+    msg: Message
+    enqueued_at: int
+
+
+class Bus(Component):
+    """The shared interconnect for scheduler messages, memory and DMA traffic."""
+
+    priority = 10  # move data before pipelines consume it
+
+    def __init__(
+        self,
+        name: str,
+        config: BusConfig,
+        inter_node_latency: int = 0,
+        stats: BusStats | None = None,
+    ) -> None:
+        super().__init__(name)
+        self.config = config
+        self.inter_node_latency = inter_node_latency
+        self.stats = stats if stats is not None else BusStats()
+        self._queue: deque[_Transfer] = deque()
+        #: Cycle each channel becomes free.
+        self._channel_free = [0] * config.num_buses
+
+    # -- API ------------------------------------------------------------------
+
+    def send(self, src: "BusEndpoint | None", dst: BusEndpoint, msg: Message) -> None:
+        """Enqueue ``msg`` for delivery to ``dst``.
+
+        ``src`` may be ``None`` for host-originated traffic (treated as
+        node 0).
+        """
+        src_node = getattr(src, "node_id", 0) if src is not None else 0
+        self._queue.append(
+            _Transfer(src_node=src_node, dst=dst, msg=msg, enqueued_at=self.now)
+        )
+        self.wake()
+
+    @property
+    def pending(self) -> int:
+        """Transfers waiting for a channel (diagnostics)."""
+        return len(self._queue)
+
+    # -- component -----------------------------------------------------------------
+
+    def tick(self, now: int) -> int | None:
+        # Grant free channels to queued transfers in FIFO order.
+        for ch in range(self.config.num_buses):
+            if not self._queue:
+                break
+            if self._channel_free[ch] > now:
+                continue
+            t = self._queue.popleft()
+            cycles = max(
+                1, -(-t.msg.size_bytes // self.config.bytes_per_cycle)
+            )
+            extra = (
+                self.inter_node_latency
+                if t.src_node != getattr(t.dst, "node_id", 0)
+                else 0
+            )
+            finish = now + self.config.arbitration_latency + cycles + extra
+            self._channel_free[ch] = now + cycles  # channel is pipelined past
+            self.stats.transfers += 1
+            self.stats.bytes_moved += t.msg.size_bytes
+            self.stats.busy_bus_cycles += cycles
+            self.stats.queue_wait_cycles += now - t.enqueued_at
+            dst, msg = t.dst, t.msg
+            self.engine.call_at(finish, lambda d=dst, m=msg: d.deliver(m))
+        if self._queue:
+            nxt = min(self._channel_free)
+            return max(nxt, now + 1)
+        return None
+
+    def describe_state(self) -> str:
+        return (
+            f"{len(self._queue)} queued transfers, channels free at "
+            f"{self._channel_free}"
+        )

@@ -1,0 +1,247 @@
+"""The assembled CellDTA machine.
+
+``Machine`` builds the full system of the paper's Sec. 4.1: N SPEs (SPU +
+LS + MFC + LSE each), one DSE per node, the PPE, the element interconnect
+bus and main memory, wired together and clocked by one event-skipping
+engine.  ``Machine.run`` executes one loaded TLP activity to completion
+and returns a :class:`RunResult` with the cycle count, the Figure 5 / 9
+statistics and the Table 5 instruction mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cell.bus import Bus
+from repro.cell.main_memory import MainMemory
+from repro.cell.ppe import PPE, PPE_ID
+from repro.cell.spe import SPE
+from repro.core.activity import TLPActivity
+from repro.core.dse import DSE
+from repro.isa.program import ThreadProgram
+from repro.sim.config import MachineConfig
+from repro.sim.engine import Engine
+from repro.sim.stats import (
+    BusStats,
+    MachineStats,
+    MemoryStats,
+    MFCStats,
+    SchedulerStats,
+)
+
+__all__ = ["Machine", "RunResult", "run_activity"]
+
+
+@dataclass
+class RunResult:
+    """Everything one simulated run produces."""
+
+    activity: str
+    config: MachineConfig
+    cycles: int
+    stats: MachineStats
+    #: True when the activity used prefetching (any template had a PF block).
+    prefetch: bool
+
+    @property
+    def speedup_base(self) -> float:
+        return float(self.cycles)
+
+
+class Machine:
+    """A complete CellDTA chip plus main memory."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.engine = Engine()
+        self.bus_stats = BusStats()
+        self.memory_stats = MemoryStats()
+        self.bus = Bus(
+            "bus", config.bus, config.inter_node_latency, self.bus_stats
+        )
+        self.memory = MainMemory("memory", config.main_memory, self.memory_stats)
+        self.engine.register(self.bus)
+        self.engine.register(self.memory)
+        self.memory.attach_bus(self.bus)
+
+        # DSEs (one per node) with a forwarding ring when multi-node.
+        self.dse_stats = SchedulerStats()
+        self.dses: list[DSE] = []
+        for node in range(config.num_nodes):
+            dse = DSE(
+                f"dse{node}",
+                node_id=node,
+                spe_ids=config.spes_of_node(node),
+                config=config.dse,
+                frames_per_lse=config.lse.num_frames,
+                stats=self.dse_stats,
+            )
+            self.engine.register(dse)
+            self.dses.append(dse)
+
+        # SPEs.
+        self.spes: list[SPE] = [SPE(i, config) for i in range(config.num_spes)]
+        for spe in self.spes:
+            spe.register(self.engine)
+            spe.wire(
+                bus=self.bus,
+                memory=self.memory,
+                dse=self.dses[spe.node_id],
+                machine=self,
+            )
+
+        # PPE.
+        self.ppe = PPE()
+        self.engine.register(self.ppe)
+        self.ppe.wire(bus=self.bus, dse=self.dses[0])
+        self.ppe.attach_machine(self)
+
+        # DSE wiring (ring for multi-node forwarding).
+        for i, dse in enumerate(self.dses):
+            nxt = self.dses[(i + 1) % len(self.dses)] if len(self.dses) > 1 else None
+            dse.wire(bus=self.bus, machine=self, next_dse=nxt)
+
+        # Response directory for the bus.
+        self._directory: dict[int, object] = {PPE_ID: self.ppe}
+        for spe in self.spes:
+            self._directory[spe.spe_id] = spe
+        self.memory.directory = self._directory
+
+        #: Optional tracer attached to every component.
+        self.tracer = None
+
+        # Run bookkeeping.
+        self._activity: TLPActivity | None = None
+        self._programs: tuple[ThreadProgram, ...] = ()
+        self._next_tid = 0
+        self.threads_created = 0
+        self.threads_completed = 0
+
+    def attach_tracer(self, tracer) -> None:
+        """Record trace events (see :mod:`repro.sim.trace`) on all units."""
+        self.tracer = tracer
+        for component in self.engine.components:
+            component._tracer = tracer
+
+    # -- services used by components --------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.config.num_nodes
+
+    def endpoint_of(self, spe_id: int):
+        return self._directory[spe_id]
+
+    def program_of(self, template_id: int) -> ThreadProgram:
+        return self._programs[template_id]
+
+    def next_tid(self) -> int:
+        tid = self._next_tid
+        self._next_tid += 1
+        return tid
+
+    def thread_created(self) -> None:
+        self.threads_created += 1
+
+    def thread_completed(self) -> None:
+        self.threads_completed += 1
+
+    # -- loading & running ----------------------------------------------------------
+
+    def load(self, activity: TLPActivity) -> None:
+        """Place globals in main memory and queue the root spawns."""
+        if self._activity is not None:
+            raise RuntimeError("machine already has an activity loaded")
+        activity.validate()
+        self._activity = activity
+        self._programs = activity.templates
+        for obj in activity.globals:
+            assert obj.addr is not None
+            self.memory.load_block(obj.addr, obj.data)
+        self.ppe.load(activity)
+
+    def _done(self) -> bool:
+        return (
+            self.ppe.done
+            and self.threads_created > 0
+            and self.threads_completed == self.threads_created
+        )
+
+    def run(self, max_cycles: int | None = None) -> RunResult:
+        """Run the loaded activity to completion."""
+        if self._activity is None:
+            raise RuntimeError("no activity loaded")
+        self.engine.run(until=self._done, max_cycles=max_cycles)
+        finish = self.engine.now
+        # Drain in-flight posted writes / acks so results are observable.
+        self.engine.drain(max_cycles=max_cycles)
+        return RunResult(
+            activity=self._activity.name,
+            config=self.config,
+            cycles=finish,
+            stats=self.collect_stats(finish),
+            prefetch=self._activity.has_prefetch,
+        )
+
+    # -- statistics -----------------------------------------------------------------
+
+    def collect_stats(self, total_cycles: int) -> MachineStats:
+        """Aggregate per-component stats; idle time is the unaccounted rest."""
+        spus = []
+        for spe in self.spes:
+            s = spe.spu_stats
+            accounted = s.breakdown.total - s.breakdown.idle
+            idle = total_cycles - accounted
+            # Allow tiny boundary overshoot (final unblock charges through
+            # the cycle after completion) but fail loudly on real leaks.
+            if idle < -8:
+                raise AssertionError(
+                    f"SPU {spe.spe_id} accounted {accounted} cycles of "
+                    f"{total_cycles}: bucket accounting leak"
+                )
+            s.breakdown.idle = max(0, idle)
+            s.observed_cycles = total_cycles
+            spus.append(s)
+        mfc = MFCStats()
+        for spe in self.spes:
+            mfc.commands += spe.mfc_stats.commands
+            mfc.bytes_transferred += spe.mfc_stats.bytes_transferred
+            mfc.queue_full_rejections += spe.mfc_stats.queue_full_rejections
+        sched = SchedulerStats()
+        for spe in self.spes:
+            st = spe.lse_stats
+            sched.fallocs += st.fallocs
+            sched.ffrees += st.ffrees
+            sched.remote_stores += st.remote_stores
+            sched.messages += st.messages
+            sched.falloc_waits += st.falloc_waits
+        sched.messages += self.dse_stats.messages
+        return MachineStats(
+            cycles=total_cycles,
+            spus=spus,
+            bus=self.bus_stats,
+            memory=self.memory_stats,
+            mfc=mfc,
+            scheduler=sched,
+        )
+
+    # -- result extraction ----------------------------------------------------------------
+
+    def read_global(self, name: str) -> list[int]:
+        """The current main-memory contents of a global object."""
+        if self._activity is None:
+            raise RuntimeError("no activity loaded")
+        obj = self._activity.global_obj(name)
+        assert obj.addr is not None
+        return self.memory.read_block(obj.addr, len(obj.data))
+
+
+def run_activity(
+    activity: TLPActivity,
+    config: MachineConfig | None = None,
+    max_cycles: int | None = None,
+) -> RunResult:
+    """Convenience: build a machine, load ``activity``, run it."""
+    machine = Machine(config if config is not None else MachineConfig())
+    machine.load(activity)
+    return machine.run(max_cycles=max_cycles)

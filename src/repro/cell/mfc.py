@@ -1,0 +1,260 @@
+"""Memory Flow Controller — the per-SPE DMA engine.
+
+The PF code block programs this unit (paper Table 3: LS address, main
+memory address, data size, tag ID).  Commands sit in a 16-entry queue
+(Table 4); the 30-cycle command latency is paid on the SPU side while the
+channel interface is written (that is precisely the paper's "prefetching
+overhead ... due to the fact that SPU must spend some time in order to
+program the DMA unit").
+
+A command is split into chunks of at most ``max_transfer_size`` bytes;
+the MFC issues one chunk request per cycle to main memory over the bus,
+and writes returned data into the Local Store at 16 bytes per port-cycle.
+When the last chunk of a command lands, the MFC notifies the LSE, which
+decrements the waiting thread's DMA tag counter — the standard DTA
+synchronization-counter mechanism reused for DMA completion (Sec. 3).
+
+The reproduction keys outstanding commands by ``(thread, tag)`` rather
+than a per-SPU tag register: several waiting threads may coexist on one
+SPE, and hardware would partition or rename the tag space per context.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.messages import (
+    DmaGatherRequest,
+    DmaReadRequest,
+    DmaReadResponse,
+    DmaWriteRequest,
+)
+from repro.sim.component import Component
+from repro.sim.config import MFCConfig
+from repro.sim.stats import MFCStats
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cell.local_store import LocalStore
+
+__all__ = ["MFC", "DmaKind", "DmaCommand"]
+
+#: LS write bandwidth per port-cycle.
+_LS_WRITE_BYTES_PER_CYCLE = 16
+
+
+class DmaKind(enum.Enum):
+    GET = "get"  # main memory -> LS (prefetch)
+    PUT = "put"  # LS -> main memory (write-back extension)
+
+
+@dataclass
+class DmaCommand:
+    """One queued DMA command."""
+
+    command_id: int
+    kind: DmaKind
+    ls_addr: int
+    mem_addr: int
+    size: int
+    tag: int
+    tid: int
+    chunks: list[tuple[int, int]] = field(default_factory=list)  # (offset, size)
+    next_chunk: int = 0
+    done_chunks: int = 0
+    #: Byte distance between gathered elements (4 = contiguous transfer).
+    stride: int = 4
+
+    @property
+    def issued_all(self) -> bool:
+        return self.next_chunk >= len(self.chunks)
+
+    @property
+    def complete(self) -> bool:
+        return self.done_chunks >= len(self.chunks)
+
+
+class MFC(Component):
+    """DMA controller of one SPE."""
+
+    priority = 30
+
+    def __init__(
+        self,
+        name: str,
+        spe_id: int,
+        config: MFCConfig,
+        local_store: "LocalStore",
+        stats: MFCStats | None = None,
+    ) -> None:
+        super().__init__(name)
+        self.spe_id = spe_id
+        self.config = config
+        self.ls = local_store
+        self.stats = stats if stats is not None else MFCStats()
+        self._queue: deque[DmaCommand] = deque()
+        self._inflight: dict[int, DmaCommand] = {}
+        self._next_id = 0
+        # Wired by the SPE/machine.
+        self._bus = None
+        self._memory = None
+        self._lse = None
+        self._endpoint = None  # the SPE bus endpoint responses return to
+
+    def wire(self, bus, memory, lse, endpoint) -> None:
+        self._bus = bus
+        self._memory = memory
+        self._lse = lse
+        self._endpoint = endpoint
+
+    # -- SPU-facing API -------------------------------------------------------
+
+    @property
+    def queue_free(self) -> bool:
+        return len(self._queue) + len(self._inflight) < self.config.command_queue_size
+
+    def enqueue(
+        self, kind: DmaKind, ls_addr: int, mem_addr: int, size: int, tag: int,
+        tid: int, stride: int = 4,
+    ) -> bool:
+        """Queue a DMA command; returns False when the queue is full.
+
+        ``size`` counts the bytes *transferred*; with ``stride > 4`` the
+        command gathers ``size // 4`` words, one every ``stride`` bytes
+        of main memory, into a contiguous LS buffer (DMAGETS).
+        """
+        if size <= 0 or size % 4:
+            raise ValueError(f"DMA size must be a positive word multiple, got {size}")
+        if stride < 4 or stride % 4:
+            raise ValueError(f"DMA stride must be a word multiple, got {stride}")
+        if stride > 4 and kind is not DmaKind.GET:
+            raise ValueError("strided transfers are gather (GET) only")
+        if not self.queue_free:
+            self.stats.queue_full_rejections += 1
+            return False
+        chunks: list[tuple[int, int]] = []
+        offset = 0
+        # Chunks are (LS offset, bytes); a strided chunk still moves at
+        # most max_transfer_size bytes of payload.
+        while offset < size:
+            csize = min(self.config.max_transfer_size, size - offset)
+            chunks.append((offset, csize))
+            offset += csize
+        cmd = DmaCommand(
+            command_id=self._next_id,
+            kind=kind,
+            ls_addr=ls_addr,
+            mem_addr=mem_addr,
+            size=size,
+            tag=tag,
+            tid=tid,
+            chunks=chunks,
+            stride=stride,
+        )
+        self._next_id += 1
+        self._queue.append(cmd)
+        self._trace("dma-command", direction=kind.value, bytes=size, tag=tag,
+                    tid=tid, chunks=len(chunks))
+        self.stats.commands += 1
+        self.stats.bytes_transferred += size
+        if self._lse is not None:
+            self._lse.dma_command_issued(tid, tag)
+        self.wake()
+        return True
+
+    # -- component ----------------------------------------------------------------
+
+    def tick(self, now: int) -> int | None:
+        """Issue one chunk request per cycle (FIFO across commands)."""
+        if not self._queue:
+            return None
+        cmd = self._queue[0]
+        offset, csize = cmd.chunks[cmd.next_chunk]
+        if cmd.kind is DmaKind.GET and cmd.stride > 4:
+            # Strided gather: this chunk covers csize//4 elements whose
+            # memory addresses advance by the stride.
+            first_element = offset // 4
+            self._bus.send(
+                self._endpoint,
+                self._memory,
+                DmaGatherRequest(
+                    addr=cmd.mem_addr + first_element * cmd.stride,
+                    count=csize // 4,
+                    stride=cmd.stride,
+                    command_id=cmd.command_id,
+                    chunk_index=cmd.next_chunk,
+                    requester_spe=self.spe_id,
+                ),
+            )
+        elif cmd.kind is DmaKind.GET:
+            self._bus.send(
+                self._endpoint,
+                self._memory,
+                DmaReadRequest(
+                    addr=cmd.mem_addr + offset,
+                    size=csize,
+                    command_id=cmd.command_id,
+                    chunk_index=cmd.next_chunk,
+                    requester_spe=self.spe_id,
+                ),
+            )
+        else:
+            # PUT: read the LS data now (charging one port-cycle per 16 B
+            # would be symmetric; reads are cheap and bounded, so charge
+            # one port this cycle as an approximation).
+            self.ls.reserve_port(now)
+            words = tuple(self.ls.read_block(cmd.ls_addr + offset, csize // 4))
+            self._bus.send(
+                self._endpoint,
+                self._memory,
+                DmaWriteRequest(
+                    addr=cmd.mem_addr + offset,
+                    words=words,
+                    command_id=cmd.command_id,
+                    chunk_index=cmd.next_chunk,
+                    requester_spe=self.spe_id,
+                ),
+            )
+        cmd.next_chunk += 1
+        if cmd.issued_all:
+            self._queue.popleft()
+            self._inflight[cmd.command_id] = cmd
+        return now + 1 if self._queue else None
+
+    # -- response path ---------------------------------------------------------------
+
+    def deliver(self, msg: DmaReadResponse) -> None:
+        """Handle a chunk arriving from main memory (routed via the SPE)."""
+        cmd = self._inflight.get(msg.command_id)
+        if cmd is None:
+            raise RuntimeError(
+                f"{self.name}: response for unknown DMA command {msg.command_id}"
+            )
+        if cmd.kind is DmaKind.GET:
+            offset, csize = cmd.chunks[msg.chunk_index]
+            self.ls.write_block(cmd.ls_addr + offset, msg.words)
+            # Charge LS write ports: 16 B per port-cycle, starting at the
+            # first cycle with a free port.
+            cycles = max(1, -(-csize // _LS_WRITE_BYTES_PER_CYCLE))
+            when = self.now
+            for _ in range(cycles):
+                when = self.ls.next_free_port_cycle(when)
+                self.ls.reserve_port(when)
+                when += 1
+            finish = when
+        else:
+            finish = self.now + 1
+        cmd.done_chunks += 1
+        if cmd.complete:
+            del self._inflight[cmd.command_id]
+            tid, tag = cmd.tid, cmd.tag
+            self.engine.call_at(
+                finish, lambda: self._lse.dma_command_done(tid, tag)
+            )
+
+    def describe_state(self) -> str:
+        return (
+            f"{len(self._queue)} queued, {len(self._inflight)} in-flight commands"
+        )

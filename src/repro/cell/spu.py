@@ -1,0 +1,647 @@
+"""SPU pipeline model.
+
+An in-order, dual-issue core (paper Sec. 4.1: "an in-order SIMD processor
+which can issue two instructions in each cycle (one memory and one
+calculation).  It does not contain any branch prediction ... does not
+have any caches").  The reproduction keeps the issue rules and drops the
+SIMD width (the paper's effects concern memory decoupling, not data
+parallelism).
+
+Timing model
+------------
+* Up to one MEM-slot and one ALU-slot instruction issue per cycle, in
+  program order; nothing issues past a taken branch, and taken branches
+  pay a fixed penalty (no branch prediction).
+* A register scoreboard delays any instruction whose source or
+  destination register has a pending writer; the stall is attributed to
+  the unit that owns the pending write (Local Store or pipeline), which
+  is what produces the Figure 5 "LS stalls" bucket.
+* Scalar READs **block the pipeline** until the response returns from
+  main memory over the bus — the paper's "Memory Stalls" bucket ("these
+  accesses cause stalls in the pipeline").  WRITEs are posted through a
+  bounded store queue credited back by the memory controller.
+* FALLOC and LSALLOC block until the scheduler responds ("LSE stalls");
+  STOREs and STOP are posted but stall when the LSE's bounded request
+  queue is full — the paper's bitcnt LSE-stall effect.
+* DMAGET occupies the pipeline for the MFC command latency — the paper's
+  "Prefetching" overhead ("the SPU must spend some time in order to
+  program the DMA unit").
+* **Every cycle spent inside a PF code block is attributed to the
+  Prefetching bucket**, whatever the SPU is doing, matching the paper's
+  definition of prefetching overhead.
+
+At the end of a PF block with outstanding DMA tags the thread yields the
+pipeline (Wait-for-DMA state) and the SPU immediately dispatches another
+ready thread — the non-blocking execution this paper is about.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+from typing import Callable
+
+from repro.cell.mfc import DmaKind
+from repro.core.messages import ReadRequest, WriteRequest
+from repro.core.thread import ThreadInstance, ThreadState
+from repro.isa.instructions import Imm, Instruction, Reg
+from repro.isa.opcodes import Op, Slot, Unit
+from repro.isa.program import BlockKind
+from repro.isa.semantics import alu_result, branch_taken
+from repro.sim.component import Component
+from repro.sim.config import MachineConfig, SPUConfig
+from repro.sim.stats import Bucket, SpuStats
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cell.local_store import LocalStore
+    from repro.core.lse import LSE
+
+__all__ = ["SPU", "SpuFault"]
+
+
+class SpuFault(RuntimeError):
+    """A program did something architecturally illegal on the SPU."""
+
+
+class _State(enum.Enum):
+    IDLE = "idle"
+    RUNNING = "running"
+    TIMED = "timed"  # stalled until a known cycle (scoreboard, DMAGET, ...)
+    EXTERNAL = "external"  # stalled until another component unblocks us
+
+
+#: Stall bucket per owning unit.
+_UNIT_BUCKET = {
+    Unit.LS: Bucket.LS_STALL,
+    Unit.MAIN: Bucket.MEM_STALL,
+    Unit.LSE: Bucket.LSE_STALL,
+    Unit.MFC: Bucket.PREFETCH,
+    Unit.PIPE: Bucket.WORKING,
+}
+
+
+class SPU(Component):
+    """One synergistic processing unit."""
+
+    priority = 60  # tick after buses/memories/schedulers each cycle
+
+    def __init__(
+        self,
+        name: str,
+        spe_id: int,
+        config: SPUConfig,
+        machine_config: MachineConfig,
+        local_store: "LocalStore",
+        stats: SpuStats | None = None,
+    ) -> None:
+        super().__init__(name)
+        self.spe_id = spe_id
+        self.config = config
+        self.machine_config = machine_config
+        self.ls = local_store
+        self.stats = stats if stats is not None else SpuStats()
+        # Wiring.
+        self._lse: "LSE | None" = None
+        self._mfc = None
+        self._bus = None
+        self._memory = None
+        self._endpoint = None
+        self._cache = None
+        # Architectural state.
+        self.thread: ThreadInstance | None = None
+        self.pc = 0
+        self.regs = [0] * config.num_registers
+        self._scoreboard: dict[int, tuple[int, Unit]] = {}
+        self._pf_end = 0
+        # Pipeline control.
+        self._state = _State.IDLE
+        self._stall_start = 0
+        self._stall_bucket = Bucket.WORKING
+        self._timed_until = 0
+        self._timed_action: Callable[[int], bool] | None = None
+        self._ext_on_value: Callable[[int], None] | None = None
+        self._ext_kind: str | None = None  # "value" | "lse_queue" | "write_credit"
+        self._outstanding_writes = 0
+
+    def wire(self, lse, mfc, bus, memory, endpoint, cache=None) -> None:
+        self._lse = lse
+        self._mfc = mfc
+        self._bus = bus
+        self._memory = memory
+        self._endpoint = endpoint
+        self._cache = cache
+
+    # -- accounting ---------------------------------------------------------
+
+    def _bucket(self, default: str) -> str:
+        """Route to the Prefetching bucket while executing a PF block."""
+        if (
+            self.thread is not None
+            and self._pf_end
+            and self.pc < self._pf_end
+            and not self.thread.prefetch_done
+        ):
+            return Bucket.PREFETCH
+        return default
+
+    def _account(self, bucket: str, cycles: int) -> None:
+        if cycles > 0:
+            self.stats.breakdown.add(bucket, cycles)
+            if self.thread is not None:
+                self.stats.template_cycles[self.thread.program.name] += cycles
+
+    # -- external notifications ----------------------------------------------
+
+    def notify_ready(self) -> None:
+        """LSE: a thread became ready (wakes an idle SPU)."""
+        if self._state is _State.IDLE:
+            self.wake()
+
+    def unblock(self, value: int) -> None:
+        """LSE / memory: the value a blocked instruction was waiting for."""
+        if self._state is not _State.EXTERNAL or self._ext_kind != "value":
+            raise SpuFault(f"{self.name}: spurious unblock({value})")
+        self._finish_external()
+        assert self._ext_on_value is not None
+        action, self._ext_on_value = self._ext_on_value, None
+        action(value)
+        self.wake()
+
+    def lse_queue_drained(self) -> None:
+        """LSE: space opened in its SPU-side request queue."""
+        if self._state is _State.EXTERNAL and self._ext_kind == "lse_queue":
+            self._finish_external()
+            self._ext_on_value = None
+            self.wake()
+
+    def write_ack(self) -> None:
+        """Memory: a posted WRITE was accepted (store-queue credit)."""
+        if self._outstanding_writes <= 0:
+            raise SpuFault(f"{self.name}: write credit underflow")
+        self._outstanding_writes -= 1
+        if self._state is _State.EXTERNAL and self._ext_kind == "write_credit":
+            self._finish_external()
+            self._ext_on_value = None
+            self.wake()
+
+    def read_response(self, value: int) -> None:
+        """Memory: the datum for the blocking READ in flight."""
+        self.unblock(value)
+
+    def dma_waiter_resume(self) -> None:
+        """LSE: the DMAWAIT tag group completed."""
+        if self._state is not _State.EXTERNAL or self._ext_kind != "dmawait":
+            raise SpuFault(f"{self.name}: spurious DMA-wait resume")
+        self._finish_external()
+        self._ext_on_value = None
+        self.wake()
+
+    def _finish_external(self) -> None:
+        # The resume tick runs next cycle; charge the stall through it.
+        self._account(self._stall_bucket, self.now + 1 - self._stall_start)
+        self._state = _State.RUNNING
+        self._ext_kind = None
+
+    # -- blocking helpers ----------------------------------------------------------
+
+    def _block_timed(
+        self, until: int, bucket: str, action: Callable[[int], bool] | None = None
+    ) -> None:
+        self._state = _State.TIMED
+        self._stall_start = self.now
+        self._stall_bucket = bucket
+        self._timed_until = until
+        self._timed_action = action
+        self.wake(until)
+
+    def _block_external(
+        self, kind: str, bucket: str, on_value: Callable[[int], None] | None = None
+    ) -> None:
+        self._state = _State.EXTERNAL
+        self._stall_start = self.now
+        self._stall_bucket = bucket
+        self._ext_kind = kind
+        self._ext_on_value = on_value
+
+    # -- component --------------------------------------------------------------------
+
+    def tick(self, now: int) -> int | None:
+        if self._state is _State.EXTERNAL:
+            return None  # spurious wake; resumes via unblock paths
+        if self._state is _State.TIMED:
+            if now < self._timed_until:
+                return self._timed_until
+            self._account(self._stall_bucket, now - self._stall_start)
+            self._stall_start = now
+            action = self._timed_action
+            if action is not None:
+                if not action(now):
+                    # Retry next cycle, continuing to accrue the bucket.
+                    self._timed_until = now + 1
+                    return now + 1
+                self._timed_action = None
+            self._state = _State.RUNNING
+        if self._state is _State.IDLE:
+            if not self._try_dispatch(now):
+                return None
+            if self._state is not _State.RUNNING:
+                return None  # dispatch entered a timed wait
+        return self._issue_cycle(now)
+
+    # -- dispatch -----------------------------------------------------------------------
+
+    def _try_dispatch(self, now: int) -> bool:
+        assert self._lse is not None
+        thread = self._lse.pop_ready()
+        while thread is not None and self._lse.offload_prefetch(thread):
+            thread = self._lse.pop_ready()
+        if thread is None:
+            self._state = _State.IDLE
+            return False
+        self.thread = thread
+        self.regs = [0] * self.config.num_registers
+        self._scoreboard.clear()
+        ranges = thread.program.block_ranges
+        self._pf_end = ranges[BlockKind.PF][1] if BlockKind.PF in ranges else 0
+        if thread.program.has_prefetch and not thread.prefetch_done:
+            self.pc = 0
+            thread.transition(ThreadState.PROGRAM_DMA)
+        else:
+            self.pc = self._pf_end
+            thread.transition(ThreadState.EXECUTING)
+        self.stats.threads_executed += 1
+        self._trace(
+            "dispatch", tid=thread.tid, template=thread.program.name,
+            resumed=thread.prefetch_done,
+            pf=thread.program.has_prefetch and not thread.prefetch_done,
+        )
+        # Frame-pointer setup / context switch cost.
+        lat = self._lse.config.request_latency
+        self._block_timed(now + lat, Bucket.LSE_STALL)
+        return True
+
+    def _detach(self) -> None:
+        self.thread = None
+        self.pc = 0
+        self._pf_end = 0
+        self._scoreboard.clear()
+
+    # -- hazards ----------------------------------------------------------------------------
+
+    def _pending(self, reg: int, now: int) -> tuple[int, Unit] | None:
+        entry = self._scoreboard.get(reg)
+        if entry is None:
+            return None
+        if entry[0] <= now:
+            del self._scoreboard[reg]
+            return None
+        return entry
+
+    def _hazard(self, instr: Instruction, now: int) -> tuple[int, Unit] | None:
+        """Worst pending (ready_cycle, unit) among the registers used."""
+        worst: tuple[int, Unit] | None = None
+        regs: list[int] = []
+        if isinstance(instr.ra, Reg):
+            regs.append(instr.ra.index)
+        if isinstance(instr.rb, Reg):
+            regs.append(instr.rb.index)
+        if instr.rd is not None:
+            regs.append(instr.rd)  # WAW
+        for r in regs:
+            entry = self._pending(r, now)
+            if entry is not None and (worst is None or entry[0] > worst[0]):
+                worst = entry
+        return worst
+
+    def _val(self, operand: "Reg | Imm | None") -> int:
+        if isinstance(operand, Reg):
+            return self.regs[operand.index]
+        if isinstance(operand, Imm):
+            return operand.value
+        raise SpuFault(f"{self.name}: missing operand")
+
+    # -- the issue loop ------------------------------------------------------------------------
+
+    def _issue_cycle(self, now: int) -> int | None:
+        thread = self.thread
+        assert thread is not None
+        program = thread.program
+        flat = program.flat
+        issued = 0
+        mem_used = False
+        alu_used = False
+        penalty = 0
+        # Capture the bucket at cycle start: instructions issued this cycle
+        # belong to the block the PC sat in when the cycle began.
+        cycle_bucket = self._bucket(Bucket.WORKING)
+        while issued < self.config.issue_width:
+            # PF-block boundary: yield the pipeline if DMA is outstanding.
+            if (
+                self._pf_end
+                and self.pc == self._pf_end
+                and not thread.prefetch_done
+            ):
+                if issued:
+                    break  # handle the boundary at the top of the next cycle
+                assert self._lse is not None
+                if self._lse.thread_wait_dma(thread):
+                    self._trace("yield-dma", tid=thread.tid,
+                                tags=sorted(thread.pending_tags))
+                    self._detach()
+                    if not self._try_dispatch(now):
+                        return None
+                    return now + 1 if self._state is _State.RUNNING else None
+                thread.transition(ThreadState.EXECUTING)
+            if self.pc >= len(flat):
+                raise SpuFault(
+                    f"{self.name}: fell off the end of {program.name!r} "
+                    f"(missing STOP?)"
+                )
+            instr = flat[self.pc]
+            spec = instr.spec
+            if spec.slot is Slot.MEM and mem_used:
+                break
+            if spec.slot is Slot.ALU and alu_used:
+                break
+            hz = self._hazard(instr, now)
+            if hz is not None:
+                if issued == 0:
+                    ready, unit = hz
+                    self._block_timed(ready, self._bucket(_UNIT_BUCKET[unit]))
+                    return self._timed_until
+                break
+            outcome = self._dispatch_op(instr, now, issued)
+            if outcome == "blocked":
+                # The op entered a timed/external wait (only legal as the
+                # first issue of the cycle).
+                assert issued == 0
+                return self._timed_until if self._state is _State.TIMED else None
+            if outcome == "retry":
+                break  # structural conflict; retry next cycle
+            # Issued.
+            issued += 1
+            self.stats.mix.record(instr.op.value)
+            if spec.slot is Slot.MEM:
+                mem_used = True
+            else:
+                alu_used = True
+            if outcome == "stop":
+                self._detach()
+                self._charge_issue(issued, now, penalty, cycle_bucket)
+                if not self._try_dispatch(now):
+                    return None
+                if self._state is _State.TIMED:
+                    # The issue cycle is already charged; the dispatch
+                    # stall starts next cycle.
+                    self._stall_start = now + 1
+                    return self._timed_until
+                return now + 1
+            if outcome == "branch-taken":
+                penalty = self.config.branch_taken_penalty
+                break
+            if outcome == "yielded" or self._state is not _State.RUNNING:
+                # A blocking op issued and is now waiting (READ, FALLOC...).
+                self._charge_issue(issued, now, penalty, cycle_bucket)
+                # The issue cycle is charged above; the stall interval
+                # starts at the next cycle.
+                self._stall_start = now + 1
+                return self._timed_until if self._state is _State.TIMED else None
+        self._charge_issue(issued, now, penalty, cycle_bucket)
+        return now + 1 + penalty
+
+    def _charge_issue(
+        self, issued: int, now: int, penalty: int, bucket: str
+    ) -> None:
+        if issued:
+            self.stats.issue_cycles += 1
+            if issued >= 2:
+                self.stats.dual_issue_cycles += 1
+            self._account(bucket, 1 + penalty)
+        elif penalty:
+            self._account(bucket, penalty)
+
+    # -- per-opcode execution -------------------------------------------------------------------
+
+    def _dispatch_op(self, instr: Instruction, now: int, issued: int) -> str:
+        """Execute ``instr`` if possible.
+
+        Returns "issued", "stop", "branch-taken", "yielded" (issued but the
+        pipeline is now waiting), "retry" (structural conflict, nothing
+        done) or "blocked" (entered a stall; only when nothing was issued
+        this cycle).
+        """
+        op = instr.op
+        thread = self.thread
+        assert thread is not None
+        assert self._lse is not None
+
+        # -- pure ALU -------------------------------------------------------
+        if op in _ALU_OPS:
+            if op is Op.NOP:
+                self.pc += 1
+                return "issued"
+            a = self._val(instr.ra) if instr.ra is not None else 0
+            b = (
+                self._val(instr.rb)
+                if instr.rb is not None
+                else (instr.imm if instr.imm is not None else 0)
+            )
+            value = alu_result(op, a, b)
+            self.regs[instr.rd] = value
+            lat = instr.spec.result_latency or 1
+            if lat > 1:
+                self._scoreboard[instr.rd] = (now + lat, Unit.PIPE)
+            self.pc += 1
+            return "issued"
+
+        # -- branches ----------------------------------------------------------
+        if instr.spec.is_branch:
+            a = self._val(instr.ra) if instr.ra is not None else 0
+            b = self._val(instr.rb) if instr.rb is not None else 0
+            if branch_taken(op, a, b):
+                assert isinstance(instr.target, int)
+                self.pc = instr.target
+                return "branch-taken"
+            self.pc += 1
+            return "issued"
+
+        # -- local store (frame + prefetched data) -------------------------------
+        if op in (Op.LOAD, Op.STOREF, Op.LLOAD, Op.LSTORE):
+            if not self.ls.reserve_port(now):
+                if issued == 0:
+                    wake = self.ls.next_free_port_cycle(now)
+                    self._block_timed(wake, self._bucket(Bucket.LS_STALL))
+                    return "blocked"
+                return "retry"
+            lat = self.machine_config.local_store.latency
+            if op is Op.LOAD:
+                assert thread.frame_addr is not None
+                value = self.ls.read_word(thread.frame_addr + 4 * instr.imm)
+                self.regs[instr.rd] = value
+                self._scoreboard[instr.rd] = (now + lat, Unit.LS)
+            elif op is Op.STOREF:
+                assert thread.frame_addr is not None
+                self.ls.write_word(
+                    thread.frame_addr + 4 * instr.imm, self._val(instr.ra)
+                )
+            elif op is Op.LLOAD:
+                addr = self._val(instr.ra) + instr.imm
+                self.regs[instr.rd] = self.ls.read_word(addr)
+                self._scoreboard[instr.rd] = (now + lat, Unit.LS)
+            else:  # LSTORE
+                addr = self._val(instr.ra) + instr.imm
+                self.ls.write_word(addr, self._val(instr.rb))
+            self.pc += 1
+            return "issued"
+
+        # -- main memory -----------------------------------------------------------
+        if op is Op.READ:
+            addr = self._val(instr.ra) + instr.imm
+            rd = instr.rd
+            self.pc += 1
+            self._block_external(
+                "value",
+                self._bucket(Bucket.MEM_STALL),
+                on_value=lambda v, rd=rd: self.regs.__setitem__(rd, v),
+            )
+            if self._cache is not None:
+                # The cache answers hits after its own latency and fills
+                # whole lines on misses; either way it unblocks us.
+                self._cache.read(addr, on_value=self.unblock)
+            else:
+                self._bus.send(
+                    self._endpoint,
+                    self._memory,
+                    ReadRequest(addr=addr, reply_key=0,
+                                requester_spe=self.spe_id),
+                )
+            return "yielded"
+        if op is Op.WRITE:
+            if self._outstanding_writes >= self.config.store_queue_size:
+                if issued == 0:
+                    self._block_external(
+                        "write_credit", self._bucket(Bucket.MEM_STALL)
+                    )
+                    return "blocked"
+                return "retry"
+            addr = self._val(instr.ra) + instr.imm
+            value = self._val(instr.rb)
+            self._outstanding_writes += 1
+            if self._cache is not None:
+                self._cache.write(addr, value)  # write-through: keep fresh
+            self._bus.send(
+                self._endpoint,
+                self._memory,
+                WriteRequest(
+                    addr=addr, value=value,
+                    requester_spe=self.spe_id,
+                ),
+            )
+            self.pc += 1
+            return "issued"
+
+        # -- scheduler ops ------------------------------------------------------------
+        if op in (Op.STORE, Op.FFREE, Op.STOP, Op.FALLOC, Op.LSALLOC):
+            if not self._lse.spu_can_accept():
+                if issued == 0:
+                    self._block_external(
+                        "lse_queue", self._bucket(Bucket.LSE_STALL)
+                    )
+                    return "blocked"
+                return "retry"
+            if op is Op.STORE:
+                self._lse.spu_store(
+                    self._val(instr.ra), instr.imm, self._val(instr.rb)
+                )
+                self.pc += 1
+                return "issued"
+            if op is Op.FFREE:
+                self._lse.spu_ffree(self._val(instr.ra))
+                self.pc += 1
+                return "issued"
+            if op is Op.STOP:
+                self._trace("thread-stop", tid=thread.tid)
+                self._lse.spu_stop(thread)
+                self.pc += 1
+                return "stop"
+            if op is Op.FALLOC:
+                rd = instr.rd
+                self._lse.spu_falloc(instr.imm, self._val(instr.ra))
+                self.pc += 1
+                self._block_external(
+                    "value",
+                    self._bucket(Bucket.LSE_STALL),
+                    on_value=lambda v, rd=rd: self.regs.__setitem__(rd, v),
+                )
+                return "yielded"
+            # LSALLOC
+            rd = instr.rd
+            self._lse.spu_lsalloc(thread, instr.imm)
+            self.pc += 1
+            self._block_external(
+                "value",
+                self._bucket(Bucket.LSE_STALL),
+                on_value=lambda v, rd=rd: self.regs.__setitem__(rd, v),
+            )
+            return "yielded"
+
+        # -- DMA ----------------------------------------------------------------------
+        if op in (Op.DMAGET, Op.DMAGETS, Op.DMAPUT):
+            kind = DmaKind.PUT if op is Op.DMAPUT else DmaKind.GET
+            ls_addr = self._val(instr.ra)
+            mem_addr = self._val(instr.rb)
+            tag, tid = instr.tag, thread.tid
+            if op is Op.DMAGETS:
+                size = 4 * instr.imm  # imm counts gathered words
+                stride = instr.stride
+            else:
+                size = instr.imm
+                stride = 4
+
+            def enqueue(_now: int, kind=kind, ls_addr=ls_addr,
+                        mem_addr=mem_addr, size=size, tag=tag, tid=tid,
+                        stride=stride) -> bool:
+                return self._mfc.enqueue(
+                    kind, ls_addr, mem_addr, size, tag, tid, stride=stride
+                )
+
+            self.pc += 1
+            self._block_timed(
+                now + self.machine_config.mfc.command_latency,
+                self._bucket(Bucket.PREFETCH),
+                action=enqueue,
+            )
+            return "yielded"
+        if op is Op.DMAWAIT:
+            if self._lse.tag_outstanding(thread.tid, instr.tag):
+                self._lse.register_dma_waiter(
+                    thread.tid, instr.tag, self.dma_waiter_resume
+                )
+                self.pc += 1
+                self._block_external(
+                    "dmawait", self._bucket(Bucket.MEM_STALL)
+                )
+                return "yielded"
+            self.pc += 1
+            return "issued"
+
+        raise SpuFault(f"{self.name}: unimplemented opcode {op.value}")
+
+    # -- diagnostics -----------------------------------------------------------------------------
+
+    def describe_state(self) -> str:
+        t = self.thread.describe() if self.thread else "no thread"
+        return (
+            f"state={self._state.value} pc={self.pc} "
+            f"outstanding_writes={self._outstanding_writes} [{t}]"
+        )
+
+
+_ALU_OPS = frozenset(
+    {
+        Op.LI, Op.MOV, Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.AND, Op.OR,
+        Op.XOR, Op.SHL, Op.SHR, Op.ADDI, Op.SUBI, Op.MULI, Op.ANDI, Op.ORI,
+        Op.XORI, Op.SHLI, Op.SHRI, Op.SLT, Op.SLTI, Op.SEQ, Op.SEQI, Op.MIN,
+        Op.MAX, Op.NOP,
+    }
+)

@@ -1,0 +1,324 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``     run one benchmark (with/without prefetching) and print the
+            cycle count, time breakdown and Table 5 instruction mix.
+``sweep``   regenerate a Figures 6-8 style scaling table for a benchmark.
+``tables``  regenerate Figure 5, Figure 9 and Table 5 at 8 SPEs.
+``disasm``  disassemble a benchmark's thread templates (optionally after
+            the prefetch pass).
+``info``    print the simulated machine configuration (Tables 2-4).
+``reproduce``  run the full experiment matrix and write results as JSON
+            (and optionally CSV) for external plotting.
+``timeline``  run one benchmark with tracing and print a per-SPU ASCII
+            Gantt chart (watch threads yield for DMA and overlap).
+
+Examples
+--------
+::
+
+    python -m repro run mmul --spes 8
+    python -m repro run zoom --no-prefetch --latency 1
+    python -m repro sweep bitcnt --spes 1 2 4 8
+    python -m repro disasm mmul --prefetch --template mmul_worker
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bench.report import (
+    breakdown_table,
+    execution_table,
+    format_table,
+    pipeline_usage_table,
+    scalability_table,
+    table5,
+)
+from repro.bench.runner import run_pair, run_workload, sweep
+from repro.bench.scale import SCALES, builders
+from repro.compiler.passes import PrefetchOptions, prefetch_transform
+from repro.sim.config import MachineConfig, paper_config
+from repro.sim.stats import Bucket
+
+__all__ = ["main", "build_parser"]
+
+
+def _config(args: argparse.Namespace) -> MachineConfig:
+    cfg = paper_config(num_spes=args.spes)
+    if args.latency is not None:
+        cfg = cfg.with_latency(args.latency)
+    return cfg
+
+
+def _workload(args: argparse.Namespace):
+    try:
+        build = builders(args.scale)[args.benchmark]
+    except KeyError:
+        raise SystemExit(
+            f"unknown benchmark {args.benchmark!r}; "
+            f"choose from {sorted(builders())}"
+        )
+    return build()
+
+
+def _print_run(label: str, run) -> None:
+    print(f"{label}: {run.cycles} cycles")
+    frac = run.stats.bucket_fractions()
+    rows = [[b, f"{100 * frac[b]:.1f}%"] for b in Bucket.ALL]
+    print(format_table(["bucket", "share"], rows))
+    mix = run.stats.mix.table5_row()
+    print(
+        format_table(
+            ["total", "LOAD", "STORE", "READ", "WRITE"],
+            [[mix["total"], mix["LOAD"], mix["STORE"], mix["READ"],
+              mix["WRITE"]]],
+        )
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = _workload(args)
+    cfg = _config(args)
+    options = PrefetchOptions(worthwhile_threshold=args.threshold)
+    if args.compare:
+        pair = run_pair(workload, cfg, options=options)
+        _print_run("original DTA", pair.base)
+        print()
+        _print_run("with prefetching", pair.prefetch)
+        print()
+        print(f"speedup: {pair.speedup:.2f}x   "
+              f"READs decoupled: {pair.decoupled_fraction:.0%}")
+    else:
+        run = run_workload(
+            workload, cfg, prefetch=args.prefetch, options=options
+        )
+        _print_run(
+            "with prefetching" if args.prefetch else "original DTA", run
+        )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    build = builders(args.scale)[args.benchmark]
+
+    def config_for(n: int) -> MachineConfig:
+        cfg = paper_config(n)
+        if args.latency is not None:
+            cfg = cfg.with_latency(args.latency)
+        return cfg
+
+    scaling = sweep(build, spes=tuple(args.spes), config_for=config_for)
+    print(execution_table(scaling))
+    print()
+    print(scalability_table(scaling))
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    cfg = _config(args)
+    pairs = {}
+    for name, build in builders(args.scale).items():
+        pairs[name] = run_pair(build(), cfg)
+    runs = {name: p.base for name, p in pairs.items()}
+    print(table5(runs))
+    print()
+    print(breakdown_table(pairs, prefetch=False))
+    print()
+    print(breakdown_table(pairs, prefetch=True))
+    print()
+    print(pipeline_usage_table(pairs))
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    workload = _workload(args)
+    activity = workload.activity
+    if args.prefetch:
+        activity = prefetch_transform(
+            activity, PrefetchOptions(worthwhile_threshold=args.threshold)
+        )
+    templates = activity.templates
+    if args.template:
+        templates = [activity.template(args.template)]
+    for template in templates:
+        print(template.disassemble())
+        print()
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.bench.export import reproduce_all, scaling_to_csv, to_json
+    from repro.bench.runner import sweep as _sweep
+
+    data = reproduce_all(
+        scale=args.scale, spes=tuple(args.spes),
+        progress=lambda msg: print(f"# {msg}", file=sys.stderr),
+    )
+    text = to_json(data)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    if args.csv:
+        from repro.bench.scale import builders as _builders
+
+        with open(args.csv, "w") as fh:
+            for name, build in _builders(args.scale).items():
+                fh.write(scaling_to_csv(_sweep(build, spes=tuple(args.spes))))
+        print(f"wrote {args.csv}", file=sys.stderr)
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.bench.timeline import render_timeline
+    from repro.cell.machine import Machine
+    from repro.sim.trace import Tracer
+
+    workload = _workload(args)
+    activity = workload.activity
+    if args.prefetch:
+        activity = prefetch_transform(
+            activity, PrefetchOptions(worthwhile_threshold=args.threshold)
+        )
+    machine = Machine(_config(args))
+    tracer = Tracer()
+    machine.attach_tracer(tracer)
+    machine.load(activity)
+    result = machine.run()
+    workload.verify(machine)
+    label = "with prefetching" if args.prefetch else "original DTA"
+    print(f"{workload.name} ({label}): {result.cycles} cycles")
+    print(render_timeline(tracer, result.cycles, width=args.width))
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    cfg = _config(args)
+    rows = [
+        ["SPEs", cfg.num_spes],
+        ["nodes", cfg.num_nodes],
+        ["main memory", f"{cfg.main_memory.size // 2**20} MB, "
+                        f"{cfg.main_memory.latency} cycles, "
+                        f"{cfg.main_memory.ports} port(s)"],
+        ["local store", f"{cfg.local_store.size // 1024} kB, "
+                        f"{cfg.local_store.latency} cycles, "
+                        f"{cfg.local_store.ports} ports"],
+        ["bus", f"{cfg.bus.num_buses} x {cfg.bus.bytes_per_cycle} B/cycle"],
+        ["MFC", f"queue {cfg.mfc.command_queue_size}, "
+                f"command latency {cfg.mfc.command_latency} cycles"],
+        ["LSE", f"{cfg.lse.num_frames} frames x "
+                f"{cfg.lse.frame_size_words} words, "
+                f"ready policy {cfg.lse.ready_policy}"],
+        ["SPU", f"issue width {cfg.spu.issue_width}, "
+                f"branch penalty {cfg.spu.branch_taken_penalty}"],
+    ]
+    print(format_table(["unit", "configuration"], rows))
+    print()
+    print(f"benchmark scales: {sorted(SCALES)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CellDTA simulator: DMA prefetching for non-blocking "
+                    "execution in DTA (Giorgi et al., 2009)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, benchmark=True, add_spes=True):
+        if benchmark:
+            p.add_argument("benchmark", choices=sorted(builders()),
+                           help="workload to run")
+        if add_spes:
+            p.add_argument("--spes", type=int, default=8,
+                           help="number of SPEs (default 8)")
+        p.add_argument("--latency", type=int, default=None,
+                       help="override main-memory latency in cycles")
+        p.add_argument("--scale", choices=sorted(SCALES), default=None,
+                       help="workload scale (default: REPRO_BENCH_SCALE "
+                            "or 'default')")
+        p.add_argument("--threshold", type=float, default=0.5,
+                       help="prefetch worthwhileness threshold")
+
+    p_run = sub.add_parser("run", help="run one benchmark")
+    common(p_run)
+    group = p_run.add_mutually_exclusive_group()
+    group.add_argument("--prefetch", action="store_true", default=True,
+                       help="apply the prefetch pass (default)")
+    group.add_argument("--no-prefetch", dest="prefetch",
+                       action="store_false", help="run the original DTA")
+    group.add_argument("--compare", action="store_true",
+                       help="run both variants and report the speedup")
+    p_run.set_defaults(func=cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="scaling sweep (Figures 6-8)")
+    common(p_sweep, add_spes=False)
+    p_sweep.add_argument("--spes", type=int, nargs="+", default=[1, 2, 4, 8])
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_tables = sub.add_parser(
+        "tables", help="Figure 5 / Figure 9 / Table 5 at one machine size"
+    )
+    common(p_tables, benchmark=False)
+    p_tables.set_defaults(func=cmd_tables)
+
+    p_dis = sub.add_parser("disasm", help="disassemble thread templates")
+    common(p_dis)
+    p_dis.add_argument("--prefetch", action="store_true",
+                       help="disassemble the transformed templates")
+    p_dis.add_argument("--template", default=None,
+                       help="only this template")
+    p_dis.set_defaults(func=cmd_disasm)
+
+    p_info = sub.add_parser("info", help="print the machine configuration")
+    common(p_info, benchmark=False)
+    p_info.set_defaults(func=cmd_info)
+
+    p_tl = sub.add_parser(
+        "timeline", help="trace one run and print a per-SPU Gantt chart"
+    )
+    common(p_tl)
+    group_tl = p_tl.add_mutually_exclusive_group()
+    group_tl.add_argument("--prefetch", action="store_true", default=True)
+    group_tl.add_argument("--no-prefetch", dest="prefetch",
+                          action="store_false")
+    p_tl.add_argument("--width", type=int, default=72)
+    p_tl.set_defaults(func=cmd_timeline)
+
+    p_rep = sub.add_parser(
+        "reproduce", help="run the full experiment matrix, export JSON/CSV"
+    )
+    common(p_rep, benchmark=False, add_spes=False)
+    p_rep.add_argument("--spes", type=int, nargs="+", default=[1, 2, 4, 8])
+    p_rep.add_argument("--output", "-o", default=None,
+                       help="write JSON here instead of stdout")
+    p_rep.add_argument("--csv", default=None,
+                       help="also write per-point CSV rows here")
+    p_rep.set_defaults(func=cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""The prefetch compiler: analysis, CDFG utilities and the transform pass."""
+
+from repro.compiler.analysis import (
+    AccessAnalysis,
+    AnalysisError,
+    Region,
+    analyze_program,
+    select_regions,
+)
+from repro.compiler.cdfg import CDFG, build_cdfg, prefetch_order, undefined_uses
+from repro.compiler.lint import lint_activity, lint_template
+from repro.compiler.passes import (
+    PassError,
+    PrefetchOptions,
+    prefetch_transform,
+    transform_program,
+)
+
+__all__ = [
+    "prefetch_transform",
+    "transform_program",
+    "PrefetchOptions",
+    "PassError",
+    "analyze_program",
+    "select_regions",
+    "AccessAnalysis",
+    "AnalysisError",
+    "Region",
+    "CDFG",
+    "build_cdfg",
+    "prefetch_order",
+    "undefined_uses",
+    "lint_activity",
+    "lint_template",
+]

@@ -1,0 +1,114 @@
+"""Control-Data Flow Graph utilities.
+
+The paper schedules prefetches "with a priority given by the Control-Data
+Flow Graph (CDFG) of the program".  This module builds a light-weight
+CDFG over a thread template — instruction-level def/use edges within each
+code block plus the block-order control edges — and derives from it:
+
+* the **prefetch priority order** (regions whose data is consumed earlier
+  in EX are DMA'd first, so the earliest consumer waits least), and
+* a **read-before-write lint** used by tests and workload authors: DTA
+  discipline demands every register EX consumes be defined in EX or
+  pre-loaded in PL, because registers do not survive the Wait-for-DMA
+  yield.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instruction, Reg
+from repro.isa.program import BlockKind, ThreadProgram
+
+__all__ = ["CDFG", "build_cdfg", "prefetch_order", "undefined_uses"]
+
+
+def _sources(instr: Instruction) -> list[int]:
+    regs = []
+    if isinstance(instr.ra, Reg):
+        regs.append(instr.ra.index)
+    if isinstance(instr.rb, Reg):
+        regs.append(instr.rb.index)
+    return regs
+
+
+def _dest(instr: Instruction) -> int | None:
+    return instr.rd
+
+
+@dataclass
+class CDFG:
+    """Flat-index nodes; ``data_edges[i]`` are the producers instruction i reads."""
+
+    program: ThreadProgram
+    #: consumer flat index -> list of producer flat indices
+    data_edges: dict[int, list[int]] = field(default_factory=dict)
+    #: (from_block, to_block) control edges in execution order
+    control_edges: list[tuple[BlockKind, BlockKind]] = field(default_factory=list)
+
+    def producers(self, index: int) -> list[int]:
+        return self.data_edges.get(index, [])
+
+    def consumers(self, index: int) -> list[int]:
+        return [c for c, ps in self.data_edges.items() if index in ps]
+
+
+def build_cdfg(program: ThreadProgram) -> CDFG:
+    """Def/use graph per block (conservative: last writer wins, branches
+    treated as straight-line, which over-approximates loop-carried uses)."""
+    graph = CDFG(program=program)
+    kinds = [k for k in (BlockKind.PF, BlockKind.PL, BlockKind.EX, BlockKind.PS)
+             if k in program.block_ranges]
+    for a, b in zip(kinds, kinds[1:]):
+        graph.control_edges.append((a, b))
+    for kind in kinds:
+        start, end = program.block_ranges[kind]
+        last_writer: dict[int, int] = {}
+        for i in range(start, end):
+            instr = program.flat[i]
+            producers = [
+                last_writer[r] for r in _sources(instr) if r in last_writer
+            ]
+            if producers:
+                graph.data_edges[i] = producers
+            d = _dest(instr)
+            if d is not None:
+                last_writer[d] = i
+    return graph
+
+
+def prefetch_order(regions: "list") -> "list":
+    """Order regions by earliest consumption in EX (CDFG priority)."""
+    return sorted(regions, key=lambda r: (r.first_use, r.obj))
+
+
+def undefined_uses(program: ThreadProgram) -> dict[BlockKind, set[int]]:
+    """Registers read before any write, per block.
+
+    Registers do not survive the PF yield or thread dispatch, so a
+    non-empty EX/PS entry (beyond values defined in PL for EX, or PL/EX
+    for PS) flags code that would read garbage after a context switch.
+    The caller decides severity; PL feeding EX is the normal DTA pattern,
+    so this function tracks definitions cumulatively from PL onward (PF
+    is excluded: its registers are genuinely lost at the yield).
+    """
+    result: dict[BlockKind, set[int]] = {}
+    defined: set[int] = set()
+    for kind in (BlockKind.PF, BlockKind.PL, BlockKind.EX, BlockKind.PS):
+        rng = program.block_ranges.get(kind)
+        if rng is None:
+            continue
+        block_defined = set() if kind is BlockKind.PF else defined
+        undefined: set[int] = set()
+        for i in range(*rng):
+            instr = program.flat[i]
+            for r in _sources(instr):
+                if r not in block_defined:
+                    undefined.add(r)
+            d = _dest(instr)
+            if d is not None:
+                block_defined.add(d)
+        result[kind] = undefined
+        if kind is not BlockKind.PF:
+            defined = block_defined
+    return result

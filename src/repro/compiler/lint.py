@@ -1,0 +1,133 @@
+"""Static linting for TLP activities.
+
+Workload authors hand-code DTA assembly; several mistakes that the
+program validator cannot reject (it only sees one template at a time)
+are cheap to catch statically at the *activity* level:
+
+* registers read in EX/PS that no earlier block defined (they are zero
+  after the Wait-for-DMA yield, almost never what was meant);
+* FALLOC SC arguments that cannot match any template's frame usage;
+* frame slots stored by spawns that the target template never loads;
+* unannotated global READs (legal — the pass will skip them — but worth
+  a warning when the rest of the template is annotated);
+* templates so large they approach the register file.
+
+:func:`lint_activity` returns a list of human-readable findings; an
+empty list is a clean bill.  The workload test suites assert exactly
+that for every shipped benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.cdfg import undefined_uses
+from repro.core.activity import TLPActivity
+from repro.isa.instructions import Imm, Reg
+from repro.isa.opcodes import Op
+from repro.isa.program import BlockKind, ThreadProgram
+
+__all__ = ["lint_activity", "lint_template"]
+
+
+def _used_registers(program: ThreadProgram) -> set[int]:
+    used: set[int] = set()
+    for instr in program.flat:
+        if instr.rd is not None:
+            used.add(instr.rd)
+        for operand in (instr.ra, instr.rb):
+            if isinstance(operand, Reg):
+                used.add(operand.index)
+    return used
+
+
+def lint_template(program: ThreadProgram) -> list[str]:
+    """Single-template findings."""
+    findings: list[str] = []
+
+    # Read-before-write (registers do not survive the PF yield).
+    report = undefined_uses(program)
+    for kind, regs in report.items():
+        if kind is BlockKind.PF or not regs:
+            continue
+        findings.append(
+            f"{program.name}: registers {sorted(regs)} are read in "
+            f"{kind.value} before any block defines them (they will be 0)"
+        )
+
+    # Loaded frame slots beyond the declared frame size.
+    for instr in program.flat:
+        if instr.op is Op.LOAD and instr.imm is not None:
+            if instr.imm >= program.frame_words:
+                findings.append(
+                    f"{program.name}: LOAD of slot {instr.imm} beyond "
+                    f"frame_words={program.frame_words}"
+                )
+
+    # Unannotated global READs alongside annotated ones.
+    reads = [i for i in program.flat if i.op is Op.READ]
+    if reads:
+        annotated = [i for i in reads if i.access is not None]
+        if annotated and len(annotated) != len(reads):
+            findings.append(
+                f"{program.name}: {len(reads) - len(annotated)} of "
+                f"{len(reads)} READs lack region annotations; the prefetch "
+                f"pass will leave them blocking"
+            )
+
+    # Register pressure (the compiler reserves the top of the file).
+    # Only meaningful before the pass runs: transformed templates use the
+    # reserved range themselves, by construction.
+    if not program.has_prefetch:
+        used = _used_registers(program)
+        if used and max(used) >= 100:
+            findings.append(
+                f"{program.name}: uses register r{max(used)}; the prefetch "
+                f"pass reserves the range above r112"
+            )
+    return findings
+
+
+def lint_activity(activity: TLPActivity) -> list[str]:
+    """Activity-wide findings (templates, spawns, FALLOC consistency)."""
+    findings: list[str] = []
+    for template in activity.templates:
+        findings.extend(lint_template(template))
+
+    # Spawn stores must land in slots the target actually loads.  A
+    # transformed template is exempt: the pass redirects parameter loads
+    # (pointer and stride slots) to scratch slots, so the original slot
+    # is stored — its store still counts toward the SC — but no longer
+    # read.
+    for index, spawn in enumerate(activity.spawns):
+        template = activity.template(spawn.template)
+        if template.has_prefetch:
+            continue
+        loaded = {
+            i.imm for i in template.flat if i.op is Op.LOAD
+        }
+        for slot in spawn.stores:
+            if slot not in loaded:
+                findings.append(
+                    f"spawn {index} ({spawn.template}): stores slot {slot}, "
+                    f"which the template never LOADs"
+                )
+        if spawn.sc == 0 and spawn.stores:
+            findings.append(
+                f"spawn {index} ({spawn.template}): has stores but SC 0"
+            )
+
+    # FALLOC SC arguments: an immediate SC larger than the target's frame
+    # could still be correct (repeated-slot stores), but an SC of zero for
+    # a template that LOADs parameters is a starved thread.
+    for template in activity.templates:
+        for instr in template.flat:
+            if instr.op is not Op.FALLOC:
+                continue
+            target = activity.templates[instr.imm]
+            target_loads = any(i.op is Op.LOAD for i in target.flat)
+            sc = instr.ra.value if isinstance(instr.ra, Imm) else None
+            if sc == 0 and target_loads:
+                findings.append(
+                    f"{template.name}: FALLOCs {target.name!r} with SC 0 "
+                    f"but the target loads frame parameters"
+                )
+    return findings

@@ -1,0 +1,35 @@
+"""The DTA core: threads, frames, scheduler elements, activities."""
+
+from repro.core.activity import GlobalObject, ObjRef, SpawnSpec, TLPActivity
+from repro.core.dse import DSE
+from repro.core.frame import (
+    Frame,
+    handle_addr,
+    handle_pe,
+    pack_handle,
+    unpack_handle,
+)
+from repro.core.lse import LSE, SchedulerError
+from repro.core.scheduler import DSEView, LSEView, SchedulerSnapshot
+from repro.core.thread import LifecycleError, ThreadInstance, ThreadState
+
+__all__ = [
+    "TLPActivity",
+    "GlobalObject",
+    "SpawnSpec",
+    "ObjRef",
+    "Frame",
+    "pack_handle",
+    "unpack_handle",
+    "handle_pe",
+    "handle_addr",
+    "LSE",
+    "DSE",
+    "SchedulerSnapshot",
+    "LSEView",
+    "DSEView",
+    "SchedulerError",
+    "ThreadInstance",
+    "ThreadState",
+    "LifecycleError",
+]

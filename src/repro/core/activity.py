@@ -1,0 +1,234 @@
+"""TLP activities: what the PPE offloads to the DTA hardware.
+
+A :class:`TLPActivity` bundles
+
+* the **thread templates** (compiled :class:`~repro.isa.program.ThreadProgram`
+  objects, indexed by a small integer template id used by FALLOC);
+* the **global data objects** the activity reads/writes in main memory,
+  with their initial contents and base addresses; and
+* the **root spawns** the PPE performs to kick the activity off (paper:
+  "TLP activities are offloaded by the general purpose processor to the
+  SPEs, which execute them in parallel").
+
+Activities are plain data so a workload generator can build one, the
+prefetch compiler can transform it, and the machine can run either
+version — that pairing is exactly the paper's with/without-prefetching
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.isa.program import ThreadProgram
+
+__all__ = ["GlobalObject", "SpawnSpec", "ObjRef", "SpawnRef", "TLPActivity"]
+
+#: Main-memory base address of the first global object (clear of address 0
+#: so null-pointer bugs in hand-written assembly fault loudly).
+GLOBAL_BASE = 0x1000
+#: Alignment for global objects (matches the MFC max transfer size).
+GLOBAL_ALIGN = 128
+
+
+@dataclass(frozen=True)
+class GlobalObject:
+    """A named array in main memory.
+
+    ``data`` holds the initial word values; an output object simply starts
+    zeroed.  Addresses are assigned by :meth:`TLPActivity.layout`.
+    """
+
+    name: str
+    data: tuple[int, ...]
+    addr: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("global object needs a name")
+        if len(self.data) == 0:
+            raise ValueError(f"global object {self.name!r} is empty")
+
+    @property
+    def size_bytes(self) -> int:
+        return 4 * len(self.data)
+
+    @staticmethod
+    def zeros(name: str, words: int) -> "GlobalObject":
+        return GlobalObject(name=name, data=(0,) * words)
+
+
+@dataclass(frozen=True)
+class SpawnSpec:
+    """One root thread the PPE creates: template + SC + initial stores.
+
+    ``stores`` maps frame slots to values; names of global objects may be
+    used as values and are resolved to their base addresses at layout
+    time via :class:`ObjRef`.
+    """
+
+    template: str
+    stores: dict[int, "int | ObjRef"] = field(default_factory=dict)
+    #: Extra SC beyond the PPE's own stores (for stores arriving later
+    #: from sibling root threads).  Normally zero.
+    extra_sc: int = 0
+
+    @property
+    def sc(self) -> int:
+        return len(self.stores) + self.extra_sc
+
+
+@dataclass(frozen=True)
+class ObjRef:
+    """A reference to a global object's base address (+ byte offset)."""
+
+    name: str
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class SpawnRef:
+    """A reference to the frame handle of an earlier root spawn.
+
+    Resolved by the PPE at spawn time (the handle only exists once the
+    scheduler answers the earlier FALLOC), so e.g. worker threads can be
+    handed the handle of a join/reduction thread spawned before them.
+    """
+
+    spawn_index: int
+
+    def __post_init__(self) -> None:
+        if self.spawn_index < 0:
+            raise ValueError(f"negative spawn index {self.spawn_index}")
+
+
+class TLPActivity:
+    """A complete offloadable parallel activity."""
+
+    def __init__(
+        self,
+        name: str,
+        templates: "dict[str, ThreadProgram] | list[ThreadProgram]",
+        globals_: "list[GlobalObject] | None" = None,
+        spawns: "list[SpawnSpec] | None" = None,
+    ) -> None:
+        self.name = name
+        if isinstance(templates, dict):
+            programs = list(templates.values())
+        else:
+            programs = list(templates)
+        if not programs:
+            raise ValueError(f"activity {name!r} has no thread templates")
+        names = [p.name for p in programs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"activity {name!r}: duplicate template names")
+        #: template name -> integer id (FALLOC immediate).
+        self.template_ids: dict[str, int] = {p.name: i for i, p in enumerate(programs)}
+        self.templates: tuple[ThreadProgram, ...] = tuple(programs)
+        self.globals: list[GlobalObject] = list(globals_ or [])
+        gnames = [g.name for g in self.globals]
+        if len(set(gnames)) != len(gnames):
+            raise ValueError(f"activity {name!r}: duplicate global object names")
+        self.spawns: list[SpawnSpec] = list(spawns or [])
+        self._laid_out = False
+        self.layout()
+
+    # -- template access ---------------------------------------------------------
+
+    def template(self, ref: "str | int") -> ThreadProgram:
+        if isinstance(ref, str):
+            return self.templates[self.template_ids[ref]]
+        return self.templates[ref]
+
+    def template_id(self, name: str) -> int:
+        return self.template_ids[name]
+
+    def with_templates(self, programs: "list[ThreadProgram]") -> "TLPActivity":
+        """A copy of this activity with replaced templates (same names/order).
+
+        Used by the prefetch pass, which rewrites each template but keeps
+        the activity structure (globals, spawns) identical.
+        """
+        if [p.name for p in programs] != [p.name for p in self.templates]:
+            raise ValueError("replacement templates must match names and order")
+        return TLPActivity(
+            name=self.name,
+            templates=programs,
+            globals_=self.globals,
+            spawns=self.spawns,
+        )
+
+    # -- global data layout ----------------------------------------------------------
+
+    def layout(self) -> None:
+        """Assign main-memory addresses to global objects (idempotent)."""
+        addr = GLOBAL_BASE
+        placed: list[GlobalObject] = []
+        for obj in self.globals:
+            placed.append(replace(obj, addr=addr))
+            size = obj.size_bytes
+            addr += ((size + GLOBAL_ALIGN - 1) // GLOBAL_ALIGN) * GLOBAL_ALIGN
+        self.globals = placed
+        self._laid_out = True
+
+    def global_obj(self, name: str) -> GlobalObject:
+        for obj in self.globals:
+            if obj.name == name:
+                return obj
+        raise KeyError(f"activity {self.name!r} has no global object {name!r}")
+
+    def resolve(
+        self,
+        value: "int | ObjRef | SpawnRef",
+        spawned_handles: "list[int] | None" = None,
+    ) -> int:
+        """Resolve a spawn-store value.
+
+        Object references become base addresses; spawn references become
+        the frame handle of the named earlier spawn (``spawned_handles``
+        is supplied by the PPE at run time).
+        """
+        if isinstance(value, ObjRef):
+            obj = self.global_obj(value.name)
+            assert obj.addr is not None
+            return obj.addr + value.offset
+        if isinstance(value, SpawnRef):
+            if spawned_handles is None:
+                raise ValueError("SpawnRef can only be resolved at spawn time")
+            if value.spawn_index >= len(spawned_handles):
+                raise ValueError(
+                    f"SpawnRef({value.spawn_index}) refers to a spawn that "
+                    f"has not happened yet"
+                )
+            return spawned_handles[value.spawn_index]
+        return value
+
+    # -- sanity --------------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check spawn references and template-id consistency."""
+        for index, spawn in enumerate(self.spawns):
+            if spawn.template not in self.template_ids:
+                raise ValueError(
+                    f"activity {self.name!r}: spawn references unknown "
+                    f"template {spawn.template!r}"
+                )
+            for value in spawn.stores.values():
+                if isinstance(value, ObjRef):
+                    self.global_obj(value.name)
+                elif isinstance(value, SpawnRef) and value.spawn_index >= index:
+                    raise ValueError(
+                        f"activity {self.name!r}: spawn {index} references "
+                        f"spawn {value.spawn_index}, which is not earlier"
+                    )
+
+    @property
+    def has_prefetch(self) -> bool:
+        """True if any template carries a PF block."""
+        return any(t.has_prefetch for t in self.templates)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<TLPActivity {self.name!r}: {len(self.templates)} templates, "
+            f"{len(self.globals)} globals, {len(self.spawns)} spawns>"
+        )

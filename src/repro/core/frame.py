@@ -1,0 +1,91 @@
+"""Frames and frame handles.
+
+A *frame* is the per-thread input buffer in frame memory (held in the
+Local Store on CellDTA).  Producers STORE into a consumer's frame through
+the scheduler; each store decrements the consumer's Synchronization
+Counter and the thread becomes ready when the counter hits zero.
+
+A *frame handle* is the architectural name of a frame: it packs the owning
+PE id and the frame's byte address inside that PE's Local Store into one
+register-sized integer, so handles can be passed between threads like any
+other value (they are, in fact, routinely STOREd into children's frames so
+the children know where to send their results).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "HANDLE_ADDR_BITS",
+    "pack_handle",
+    "unpack_handle",
+    "handle_pe",
+    "handle_addr",
+    "Frame",
+]
+
+#: Bits reserved for the LS byte address inside a handle (LS < 1 MiB).
+HANDLE_ADDR_BITS = 20
+_ADDR_MASK = (1 << HANDLE_ADDR_BITS) - 1
+
+
+def pack_handle(pe_id: int, frame_addr: int) -> int:
+    """Pack (PE id, LS byte address) into an integer frame handle."""
+    if pe_id < 0:
+        raise ValueError(f"negative PE id {pe_id}")
+    if not 0 <= frame_addr <= _ADDR_MASK:
+        raise ValueError(
+            f"frame address {frame_addr:#x} does not fit in "
+            f"{HANDLE_ADDR_BITS} bits"
+        )
+    if frame_addr % 4:
+        raise ValueError(f"frame address {frame_addr:#x} is not word-aligned")
+    return (pe_id << HANDLE_ADDR_BITS) | frame_addr
+
+
+def unpack_handle(handle: int) -> tuple[int, int]:
+    """Inverse of :func:`pack_handle`: returns ``(pe_id, frame_addr)``."""
+    if handle < 0:
+        raise ValueError(f"negative frame handle {handle}")
+    return handle >> HANDLE_ADDR_BITS, handle & _ADDR_MASK
+
+
+def handle_pe(handle: int) -> int:
+    return unpack_handle(handle)[0]
+
+
+def handle_addr(handle: int) -> int:
+    return unpack_handle(handle)[1]
+
+
+@dataclass
+class Frame:
+    """Bookkeeping for one physical frame slot in an LSE's frame table."""
+
+    #: Byte address of the frame inside the Local Store frame region.
+    addr: int
+    #: Capacity in words.
+    size_words: int
+    #: Thread currently owning the frame (``None`` when free).
+    owner_tid: int | None = None
+    #: Slots written so far (diagnostics; duplicates are legal overwrites).
+    writes: int = field(default=0)
+
+    @property
+    def free(self) -> bool:
+        return self.owner_tid is None
+
+    def assign(self, tid: int) -> None:
+        if self.owner_tid is not None:
+            raise RuntimeError(
+                f"frame @{self.addr:#x} already owned by thread {self.owner_tid}"
+            )
+        self.owner_tid = tid
+        self.writes = 0
+
+    def release(self) -> None:
+        if self.owner_tid is None:
+            raise RuntimeError(f"frame @{self.addr:#x} is already free")
+        self.owner_tid = None
+        self.writes = 0

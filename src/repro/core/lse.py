@@ -1,0 +1,670 @@
+"""Local Scheduler Element.
+
+One LSE sits in every SPE (paper Sec. 2): it manages the local frame
+table, tracks each local thread's Synchronization Counter, keeps the ready
+queue, forwards resource requests to the node's DSE, and — new in this
+paper — tracks outstanding DMA tag groups so a thread in the
+*Wait-for-DMA* state is re-readied by the standard SC mechanism when its
+prefetch completes.
+
+The LSE processes one request per ``request_latency`` cycles from a FIFO
+that merges pipeline-side requests (STORE, FALLOC, LSALLOC, STOP, FFREE)
+with network messages (remote stores, AllocFrame from the DSE, FALLOC
+responses).  The pipeline-side queue is bounded: a full queue
+back-pressures the SPU, which is where bitcnt's "LSE stalls" come from
+("this benchmark is forking a vast amount of threads in a small amount of
+time and the LSE can't keep up").
+
+Two optional features model the paper's discussion:
+
+* ``virtual_frame_pointers`` (ablation A3) — FALLOC succeeds even when no
+  physical frame is free; the returned handle names a *virtual* frame
+  whose stores are buffered until a physical frame binds.
+* ``dual_pipelines`` (ablation A2) — the LSE's XP pipeline executes PF
+  code blocks itself, so DMA programming overlaps thread execution and
+  the SPU never pays the prefetch overhead.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import deque
+from dataclasses import dataclass
+
+from repro.cell.local_store import AllocationError, LocalStore, LSAllocator
+from repro.cell.mfc import DmaKind
+from repro.core.frame import Frame, pack_handle, unpack_handle
+from repro.core.messages import (
+    AllocFrame,
+    FallocRequest,
+    FallocResponse,
+    FFreeMsg,
+    FrameFreed,
+    Message,
+    StoreMsg,
+)
+from repro.core.thread import ThreadInstance, ThreadState
+from repro.isa.opcodes import Op
+from repro.isa.program import BlockKind
+from repro.isa.semantics import alu_result
+from repro.sim.component import Component
+from repro.sim.config import LSEConfig, MachineConfig
+from repro.sim.stats import SchedulerStats
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cell.machine import Machine
+
+__all__ = ["LSE", "SchedulerError"]
+
+#: Virtual frame handles use LS addresses above this base (beyond any
+#: physical LS) so they can never collide with physical frame addresses.
+VIRTUAL_BASE = 1 << 19
+
+
+class SchedulerError(RuntimeError):
+    """A protocol violation inside the distributed scheduler."""
+
+
+@dataclass
+class _PendingAlloc:
+    """An AllocFrame that found no free frame (non-virtual mode)."""
+
+    msg: AllocFrame
+    arrived: int
+
+
+class LSE(Component):
+    """The per-SPE scheduler element."""
+
+    priority = 40
+
+    #: Pipeline-side request queue bound (requests from this SPE's SPU).
+    SPU_QUEUE_CAPACITY = 16
+
+    def __init__(
+        self,
+        name: str,
+        spe_id: int,
+        config: LSEConfig,
+        machine_config: MachineConfig,
+        local_store: LocalStore,
+        stats: SchedulerStats | None = None,
+    ) -> None:
+        super().__init__(name)
+        self.spe_id = spe_id
+        self.config = config
+        self.machine_config = machine_config
+        self.ls = local_store
+        self.stats = stats if stats is not None else SchedulerStats()
+        # Frame table occupies the front of the LS frame region.
+        self.frames = [
+            Frame(addr=i * config.frame_size_bytes, size_words=config.frame_size_words)
+            for i in range(config.num_frames)
+        ]
+        self._free_frames: deque[Frame] = deque(self.frames)
+        self._frame_by_addr = {f.addr: f for f in self.frames}
+        self.allocator = LSAllocator(
+            base=machine_config.local_store.frame_region,
+            size=machine_config.local_store.prefetch_region,
+        )
+        # Thread bookkeeping.
+        self.threads: dict[int, ThreadInstance] = {}  # tid -> instance
+        self._thread_by_frame: dict[int, ThreadInstance] = {}  # frame addr -> thr
+        self._virtual: dict[int, ThreadInstance] = {}  # virtual addr -> thread
+        self._virtual_stores: dict[int, dict[int, int]] = {}  # vaddr -> pending
+        self._next_virtual = VIRTUAL_BASE
+        self._ready: deque[ThreadInstance] = deque()
+        self._pending_allocs: deque[_PendingAlloc] = deque()
+        # DMA tag tracking: (tid, tag) -> outstanding command count.
+        self._dma_outstanding: dict[tuple[int, int], int] = {}
+        self._dma_waiters: dict[tuple[int, int], object] = {}  # DMAWAIT resumes
+        # Request pipeline.
+        self._queue: deque[tuple] = deque()
+        self._spu_queue_len = 0
+        # LSALLOC requests that could not be satisfied yet.
+        self._waiting_lsallocs: deque[tuple[ThreadInstance, int]] = deque()
+        # Wiring (set by the SPE / machine).
+        self._bus = None
+        self._dse = None
+        self._spu = None
+        self._mfc = None
+        self._endpoint = None
+        self._machine: "Machine | None" = None
+        self._falloc_seq = 0
+        self._pending_falloc_rd: dict[int, None] = {}
+
+    def wire(self, bus, dse, spu, mfc, endpoint, machine) -> None:
+        self._bus = bus
+        self._dse = dse
+        self._spu = spu
+        self._mfc = mfc
+        self._endpoint = endpoint
+        self._machine = machine
+
+    # -- queue plumbing -----------------------------------------------------
+
+    def spu_can_accept(self) -> bool:
+        """Whether the pipeline-side queue has room for one more request."""
+        return self._spu_queue_len < self.SPU_QUEUE_CAPACITY
+
+    def _push(self, item: tuple, from_spu: bool) -> None:
+        if from_spu:
+            if not self.spu_can_accept():
+                raise SchedulerError(
+                    f"{self.name}: SPU pushed into a full LSE queue"
+                )
+            self._spu_queue_len += 1
+        self._queue.append((item, from_spu))
+        self.wake()
+
+    # Pipeline-side entry points (called by the SPU; all posted except
+    # falloc/lsalloc whose responses unblock the SPU later).
+
+    def spu_store(self, handle: int, slot: int, value: int) -> None:
+        self._push(("store", handle, slot, value), from_spu=True)
+
+    def spu_falloc(self, template_id: int, sc: int) -> None:
+        self._push(("falloc", template_id, sc), from_spu=True)
+
+    def spu_lsalloc(self, thread: ThreadInstance, size: int) -> None:
+        self._push(("lsalloc", thread, size), from_spu=True)
+
+    def spu_stop(self, thread: ThreadInstance) -> None:
+        self._push(("stop", thread), from_spu=True)
+
+    def spu_ffree(self, handle: int) -> None:
+        self._push(("ffree", handle), from_spu=True)
+
+    # Network entry point (via the SPE bus endpoint).
+
+    def deliver(self, msg: Message) -> None:
+        self._push(("msg", msg), from_spu=False)
+
+    # MFC notifications (same SPE; no bus hop).
+
+    def dma_command_issued(self, tid: int, tag: int) -> None:
+        key = (tid, tag)
+        self._dma_outstanding[key] = self._dma_outstanding.get(key, 0) + 1
+        thread = self.threads.get(tid)
+        if thread is None:
+            raise SchedulerError(f"{self.name}: DMA issued for unknown thread {tid}")
+        thread.pending_tags.add(tag)
+
+    def dma_command_done(self, tid: int, tag: int) -> None:
+        key = (tid, tag)
+        left = self._dma_outstanding.get(key, 0) - 1
+        if left < 0:
+            raise SchedulerError(
+                f"{self.name}: DMA completion underflow for thread {tid} tag {tag}"
+            )
+        if left:
+            self._dma_outstanding[key] = left
+            return
+        self._dma_outstanding.pop(key, None)
+        self._trace("dma-tag-done", tid=tid, tag=tag)
+        thread = self.threads.get(tid)
+        if thread is None:
+            return  # thread already finished (PUT write-back after STOP)
+        thread.pending_tags.discard(tag)
+        waiter = self._dma_waiters.pop(key, None)
+        if waiter is not None:
+            waiter()  # resume a DMAWAIT-blocked SPU
+        if thread.state is ThreadState.WAIT_DMA and not thread.pending_tags:
+            thread.transition(ThreadState.READY)
+            self._make_ready(thread, resumed=True)
+
+    def tag_outstanding(self, tid: int, tag: int) -> bool:
+        return self._dma_outstanding.get((tid, tag), 0) > 0
+
+    def register_dma_waiter(self, tid: int, tag: int, resume) -> None:
+        key = (tid, tag)
+        if key in self._dma_waiters:
+            raise SchedulerError(f"{self.name}: duplicate DMAWAIT on {key}")
+        self._dma_waiters[key] = resume
+
+    # -- SPU dispatch interface -------------------------------------------------
+
+    def pop_ready(self) -> ThreadInstance | None:
+        """Hand the next ready thread to the SPU (None when idle)."""
+        while self._ready:
+            thread = self._ready.popleft()
+            if thread.state is ThreadState.READY:
+                return thread
+        return None
+
+    def thread_wait_dma(self, thread: ThreadInstance) -> bool:
+        """Called by the SPU at the end of a PF block.
+
+        Returns True when the thread must yield the pipeline (outstanding
+        DMA tags remain); the thread will be re-readied by
+        :meth:`dma_command_done`.
+        """
+        thread.prefetch_done = True
+        if thread.pending_tags:
+            thread.transition(ThreadState.WAIT_DMA)
+            return True
+        return False
+
+    def _make_ready(self, thread: ThreadInstance, resumed: bool = False) -> None:
+        """Queue a READY thread per the configured dispatch discipline.
+
+        Resumed (post-DMA) threads always go to the front: their data is
+        hot in the LS and holding their buffers longer only adds
+        pressure.  New threads go to the front under the default "lifo"
+        (depth-first) policy — which bounds the live frames of fork trees
+        the way depth-first schedulers bound space — or to the back under
+        "fifo".
+        """
+        thread.ready_at = self.now
+        self._trace("thread-ready", tid=thread.tid, resumed=resumed)
+        if resumed or self.config.ready_policy == "lifo":
+            self._ready.appendleft(thread)
+        else:
+            self._ready.append(thread)
+        self._notify_spu()
+
+    def _notify_spu(self) -> None:
+        if self._spu is not None:
+            self._spu.notify_ready()
+
+    # -- XP-pipeline prefetch offload (ablation A2) ---------------------------
+
+    def offload_prefetch(self, thread: ThreadInstance) -> bool:
+        """Run ``thread``'s PF block on the LSE's XP pipeline if enabled.
+
+        Returns True when the LSE took ownership of the PF phase: the
+        thread transitions to PROGRAM_DMA immediately and will re-enter
+        the ready queue (prefetch done) without ever occupying the SPU —
+        the overlap the paper attributes to the original DTA LSE's SP/XP
+        dual pipelines ("it can overlap this with the execution of other
+        threads, but in the CellDTA this is not yet available").
+        """
+        if not self.config.dual_pipelines:
+            return False
+        if thread.prefetch_done or not thread.program.has_prefetch:
+            return False
+        thread.transition(ThreadState.PROGRAM_DMA)
+        pf = thread.program.block(BlockKind.PF)
+        # XP pipeline occupancy: one PF instruction per request_latency.
+        delay = max(1, len(pf) * self.config.request_latency)
+        self.engine.call_at(self.now + delay, lambda: self._xp_run(thread))
+        return True
+
+    def _xp_run(self, thread: ThreadInstance) -> None:
+        """Functionally execute the PF block on the XP pipeline."""
+        pf = thread.program.block(BlockKind.PF)
+        regs: dict[int, int] = {}
+
+        def val(operand) -> int:
+            from repro.isa.instructions import Imm, Reg
+
+            if isinstance(operand, Imm):
+                return operand.value
+            if isinstance(operand, Reg):
+                return regs.get(operand.index, 0)
+            raise SchedulerError(f"{self.name}: bad XP operand {operand!r}")
+
+        # First pass: check resources so the whole block applies atomically.
+        total_alloc = sum(i.imm for i in pf if i.op is Op.LSALLOC)
+        dma_count = sum(1 for i in pf if i.op in (Op.DMAGET, Op.DMAPUT))
+        if total_alloc and not self.allocator.can_alloc(total_alloc):
+            self.engine.call_at(self.now + 16, lambda: self._xp_run(thread))
+            return
+        if dma_count and len(pf) and not self._mfc.queue_free:
+            self.engine.call_at(self.now + 8, lambda: self._xp_run(thread))
+            return
+        assert thread.frame_addr is not None
+        for instr in pf:
+            if instr.op is Op.LOAD:
+                regs[instr.rd] = self.ls.read_word(
+                    thread.frame_addr + 4 * instr.imm
+                )
+            elif instr.op is Op.STOREF:
+                self.ls.write_word(
+                    thread.frame_addr + 4 * instr.imm, val(instr.ra)
+                )
+            elif instr.op is Op.LSALLOC:
+                addr = self.allocator.alloc(instr.imm)
+                thread.ls_buffers.append((addr, instr.imm))
+                regs[instr.rd] = addr
+            elif instr.op is Op.DMAGET:
+                ok = self._mfc.enqueue(
+                    DmaKind.GET, val(instr.ra), val(instr.rb), instr.imm,
+                    instr.tag, thread.tid,
+                )
+                if not ok:  # pragma: no cover - pre-checked above
+                    raise SchedulerError(f"{self.name}: XP hit a full MFC queue")
+            elif instr.spec.is_branch:
+                raise SchedulerError(
+                    f"{self.name}: XP pipeline cannot execute branches in PF"
+                )
+            elif instr.op is Op.NOP:
+                pass
+            else:
+                a = val(instr.ra) if instr.ra is not None else 0
+                b = val(instr.rb) if instr.rb is not None else (
+                    instr.imm if instr.imm is not None else 0
+                )
+                regs[instr.rd] = alu_result(instr.op, a, b)
+        thread.prefetch_done = True
+        if thread.pending_tags:
+            thread.transition(ThreadState.WAIT_DMA)
+        else:
+            thread.transition(ThreadState.READY)
+            self._make_ready(thread, resumed=True)
+
+    # -- component ---------------------------------------------------------------
+
+    def tick(self, now: int) -> int | None:
+        if not self._queue:
+            return None
+        (item, from_spu) = self._queue.popleft()
+        if from_spu:
+            self._spu_queue_len -= 1
+            if self._spu is not None:
+                self._spu.lse_queue_drained()
+        self._process(item, now)
+        return now + self.config.request_latency if self._queue else None
+
+    # -- request processing ---------------------------------------------------------
+
+    def _process(self, item: tuple, now: int) -> None:
+        kind = item[0]
+        if kind == "store":
+            _, handle, slot, value = item
+            self._do_store(handle, slot, value, now)
+        elif kind == "falloc":
+            _, template_id, sc = item
+            self._do_falloc(template_id, sc)
+        elif kind == "lsalloc":
+            _, thread, size = item
+            self._do_lsalloc(thread, size)
+        elif kind == "stop":
+            self._do_stop(item[1], now)
+        elif kind == "ffree":
+            self._do_ffree(item[1])
+        elif kind == "msg":
+            self._process_msg(item[1], now)
+        else:  # pragma: no cover - defensive
+            raise SchedulerError(f"{self.name}: unknown request {kind!r}")
+
+    def _process_msg(self, msg: Message, now: int) -> None:
+        self.stats.messages += 1
+        if isinstance(msg, StoreMsg):
+            self._apply_local_store(msg.handle, msg.slot, msg.value, now)
+        elif isinstance(msg, AllocFrame):
+            self._do_alloc_frame(msg, now)
+        elif isinstance(msg, FallocResponse):
+            # The handle for a FALLOC this SPE's SPU is blocked on.
+            self._spu.unblock(msg.handle)
+        elif isinstance(msg, FFreeMsg):
+            self._free_frame_by_handle(msg.handle)
+        else:
+            raise SchedulerError(
+                f"{self.name}: unexpected message {type(msg).__name__}"
+            )
+
+    # FALLOC (requesting side): forward to the DSE.
+
+    def _do_falloc(self, template_id: int, sc: int) -> None:
+        self.stats.fallocs += 1
+        self._falloc_seq += 1
+        self._bus.send(
+            self._endpoint,
+            self._dse,
+            FallocRequest(
+                request_id=(self.spe_id << 24) | self._falloc_seq,
+                requester_spe=self.spe_id,
+                template_id=template_id,
+                sc=sc,
+            ),
+        )
+
+    # AllocFrame (target side): create the thread here.
+
+    def _do_alloc_frame(self, msg: AllocFrame, now: int) -> None:
+        if self._free_frames:
+            frame = self._free_frames.popleft()
+            thread = self._create_thread(msg, frame, now)
+            self._respond_falloc(msg, thread)
+        elif self.config.virtual_frame_pointers:
+            if len(self._virtual) >= self.config.virtual_frame_depth:
+                self.stats.falloc_waits += 1
+                self._pending_allocs.append(_PendingAlloc(msg=msg, arrived=now))
+                return
+            vaddr = self._next_virtual
+            self._next_virtual += 4
+            thread = self._create_thread(msg, None, now, vaddr=vaddr)
+            self._virtual[vaddr] = thread
+            self._virtual_stores[vaddr] = {}
+            self._respond_falloc(msg, thread)
+        else:
+            self.stats.falloc_waits += 1
+            self._pending_allocs.append(_PendingAlloc(msg=msg, arrived=now))
+
+    def _create_thread(
+        self, msg: AllocFrame, frame: Frame | None, now: int, vaddr: int | None = None
+    ) -> ThreadInstance:
+        assert self._machine is not None
+        tid = self._machine.next_tid()
+        program = self._machine.program_of(msg.template_id)
+        if program.frame_words > self.config.frame_size_words:
+            raise SchedulerError(
+                f"{self.name}: template {program.name!r} needs "
+                f"{program.frame_words} frame words > "
+                f"{self.config.frame_size_words}"
+            )
+        addr = frame.addr if frame is not None else vaddr
+        assert addr is not None
+        thread = ThreadInstance(
+            tid=tid,
+            template_id=msg.template_id,
+            program=program,
+            spe_id=self.spe_id,
+            frame_addr=frame.addr if frame is not None else None,
+            handle=pack_handle(self.spe_id, addr),
+            sc=msg.sc,
+            state=ThreadState.WAIT_FRAME if frame is None else ThreadState.WAIT_STORES,
+            created_at=now,
+        )
+        if frame is not None:
+            frame.assign(tid)
+            self._thread_by_frame[frame.addr] = thread
+        self.threads[tid] = thread
+        self._machine.thread_created()
+        self._trace("thread-created", tid=tid, template=program.name,
+                    sc=msg.sc, virtual=frame is None)
+        if msg.sc == 0 and frame is not None:
+            thread.transition(ThreadState.READY)
+            self._make_ready(thread)
+        return thread
+
+    def _respond_falloc(self, msg: AllocFrame, thread: ThreadInstance) -> None:
+        response = FallocResponse(
+            request_id=msg.request_id, handle=thread.handle, tid=thread.tid
+        )
+        requester = self._machine.endpoint_of(msg.requester_spe)
+        self._bus.send(self._endpoint, requester, response)
+
+    # Stores.
+
+    def _do_store(self, handle: int, slot: int, value: int, now: int) -> None:
+        pe, _ = unpack_handle(handle)
+        if pe == self.spe_id:
+            self._apply_local_store(handle, slot, value, now)
+        else:
+            self.stats.remote_stores += 1
+            target = self._machine.endpoint_of(pe)
+            self._bus.send(
+                self._endpoint, target, StoreMsg(handle=handle, slot=slot, value=value)
+            )
+
+    def _apply_local_store(self, handle: int, slot: int, value: int, now: int) -> None:
+        pe, addr = unpack_handle(handle)
+        if pe != self.spe_id:
+            raise SchedulerError(
+                f"{self.name}: store for PE {pe} delivered to PE {self.spe_id}"
+            )
+        if addr >= VIRTUAL_BASE:
+            redirect = getattr(self, "_virtual_redirect", {})
+            if addr in redirect:
+                # The virtual frame was bound meanwhile; route to the
+                # physical frame it became.
+                addr = redirect[addr]
+            else:
+                thread = self._virtual.get(addr)
+                if thread is None:
+                    raise SchedulerError(
+                        f"{self.name}: store to stale virtual frame"
+                    )
+                self._virtual_stores[addr][slot] = value
+                thread.count_store()
+                return
+        frame = self._frame_by_addr.get(addr)
+        if frame is None or frame.free:
+            raise SchedulerError(
+                f"{self.name}: store to unallocated frame @{addr:#x}"
+            )
+        thread = self._thread_by_frame[addr]
+        if slot >= self.config.frame_size_words:
+            raise SchedulerError(
+                f"{self.name}: store to slot {slot} beyond frame size"
+            )
+        self.ls.write_word(addr + 4 * slot, value)
+        self.ls.reserve_port(self.now)
+        frame.writes += 1
+        if thread.count_store():
+            thread.transition(ThreadState.READY)
+            self._make_ready(thread)
+
+    # LSALLOC.
+
+    def _do_lsalloc(self, thread: ThreadInstance, size: int) -> None:
+        try:
+            addr = self.allocator.alloc(size)
+        except AllocationError:
+            self._waiting_lsallocs.append((thread, size))
+            return
+        thread.ls_buffers.append((addr, size))
+        self._spu.unblock(addr)
+
+    def _retry_lsallocs(self) -> None:
+        # Serve as many queued LSALLOCs as now fit, in order.
+        while self._waiting_lsallocs:
+            thread, size = self._waiting_lsallocs[0]
+            if not self.allocator.can_alloc(size):
+                return
+            self._waiting_lsallocs.popleft()
+            addr = self.allocator.alloc(size)
+            thread.ls_buffers.append((addr, size))
+            self._spu.unblock(addr)
+
+    # STOP / frame release.
+
+    def _do_stop(self, thread: ThreadInstance, now: int) -> None:
+        thread.transition(ThreadState.DONE)
+        thread.finished_at = now
+        for addr, size in thread.ls_buffers:
+            self.allocator.free(addr, size)
+        thread.ls_buffers.clear()
+        self._retry_lsallocs()
+        if thread.frame_addr is not None and not getattr(thread, "frame_freed", False):
+            self._release_frame(thread)
+        del self.threads[thread.tid]
+        self._machine.thread_completed()
+        self._trace("thread-done", tid=thread.tid,
+                    template=thread.program.name)
+
+    def _release_frame(self, thread: ThreadInstance) -> None:
+        assert thread.frame_addr is not None
+        frame = self._frame_by_addr[thread.frame_addr]
+        frame.release()
+        del self._thread_by_frame[thread.frame_addr]
+        thread.frame_addr = None
+        thread.frame_freed = True  # type: ignore[attr-defined]
+        self.stats.ffrees += 1
+        self._bus.send(self._endpoint, self._dse, FrameFreed(spe_id=self.spe_id))
+        self._serve_pending_alloc(frame)
+
+    def _serve_pending_alloc(self, frame: Frame) -> None:
+        """A frame just freed: bind a waiting alloc or virtual thread."""
+        # Virtual threads first (they were promised frames earlier).
+        # Prefer one whose inputs are already fully buffered (SC == 0): it
+        # becomes runnable the moment it binds, so the frame turns over
+        # quickly — binding a thread whose producers are themselves
+        # unbound could park the frame indefinitely.
+        if self._virtual:
+            pick = None
+            for vaddr, thread in self._virtual.items():
+                if thread.sc == 0:
+                    pick = (vaddr, thread)
+                    break
+                if pick is None:
+                    pick = (vaddr, thread)
+            assert pick is not None
+            self._bind_virtual(pick[0], pick[1], frame)
+            return
+        if self._pending_allocs:
+            pending = self._pending_allocs.popleft()
+            self._free_frames.append(frame)
+            # Re-run the allocation path with the frame we just returned.
+            self._do_alloc_frame(pending.msg, self.now)
+            return
+        self._free_frames.append(frame)
+
+    def _bind_virtual(self, vaddr: int, thread: ThreadInstance, frame: Frame) -> None:
+        del self._virtual[vaddr]
+        pending = self._virtual_stores.pop(vaddr)
+        frame.assign(thread.tid)
+        thread.frame_addr = frame.addr
+        self._thread_by_frame[frame.addr] = thread
+        thread.transition(ThreadState.WAIT_STORES)
+        # Re-point the handle: stores already in flight carry the virtual
+        # address, so keep routing it.
+        self._virtual_redirect = getattr(self, "_virtual_redirect", {})
+        self._virtual_redirect[vaddr] = frame.addr
+        for slot, value in pending.items():
+            self.ls.write_word(frame.addr + 4 * slot, value)
+        if thread.sc == 0:
+            thread.transition(ThreadState.READY)
+            self._make_ready(thread)
+
+    def _do_ffree(self, handle: int) -> None:
+        pe, _ = unpack_handle(handle)
+        if pe == self.spe_id:
+            self._free_frame_by_handle(handle)
+        else:
+            self._bus.send(
+                self._endpoint,
+                self._machine.endpoint_of(pe),
+                FFreeMsg(handle=handle),
+            )
+
+    def _free_frame_by_handle(self, handle: int) -> None:
+        _, addr = unpack_handle(handle)
+        thread = self._thread_by_frame.get(addr)
+        if thread is None:
+            raise SchedulerError(
+                f"{self.name}: FFREE of unallocated frame @{addr:#x}"
+            )
+        self._release_frame(thread)
+
+    # -- diagnostics ------------------------------------------------------------------
+
+    @property
+    def live_threads(self) -> int:
+        return len(self.threads)
+
+    @property
+    def free_frame_count(self) -> int:
+        return len(self._free_frames)
+
+    def describe_state(self) -> str:
+        return (
+            f"{len(self._queue)} queued reqs, {len(self._ready)} ready, "
+            f"{self.live_threads} live threads, "
+            f"{self.free_frame_count}/{self.config.num_frames} frames free, "
+            f"{len(self._pending_allocs)} pending allocs, "
+            f"{len(self._waiting_lsallocs)} waiting LSALLOCs, "
+            f"{sum(self._dma_outstanding.values())} DMA cmds outstanding"
+        )

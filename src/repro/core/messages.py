@@ -1,0 +1,255 @@
+"""Scheduler message protocol.
+
+DTA scheduler elements (LSEs and DSEs) communicate exclusively by sending
+messages (paper Sec. 2): FALLOC-Request / FALLOC-Response for frame
+allocation, FFREE for releasing frames, and remote-store messages for
+writing into frames of threads on other PEs.  On CellDTA these ride the
+element interconnect bus, so every message declares its size in bytes for
+bus timing.
+
+The reproduction adds two bookkeeping messages that a hardware
+implementation would fold into the same wires: ``FrameFreed`` (LSE -> DSE
+load accounting) and ``DmaComplete`` (MFC -> local LSE; never crosses the
+bus because MFC and LSE sit in the same SPE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Message",
+    "FallocRequest",
+    "AllocFrame",
+    "FallocResponse",
+    "StoreMsg",
+    "FFreeMsg",
+    "FrameFreed",
+    "ReadRequest",
+    "WriteRequest",
+    "ReadResponse",
+    "WriteAck",
+    "CacheFillRequest",
+    "CacheFillResponse",
+    "DmaReadRequest",
+    "DmaGatherRequest",
+    "DmaReadResponse",
+    "DmaWriteRequest",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class: every message knows its wire size."""
+
+    @property
+    def size_bytes(self) -> int:
+        return 16
+
+
+@dataclass(frozen=True)
+class FallocRequest(Message):
+    """LSE -> DSE: a thread asked for a new frame (FALLOC).
+
+    ``requester`` names the LSE waiting for the response; ``request_id``
+    correlates the eventual :class:`FallocResponse`.
+    """
+
+    request_id: int
+    requester_spe: int
+    template_id: int
+    sc: int
+    #: How many DSE->DSE forwards this request has taken (wire-delay model).
+    hops: int = 0
+
+
+@dataclass(frozen=True)
+class AllocFrame(Message):
+    """DSE -> target LSE: allocate a frame for a new thread here."""
+
+    request_id: int
+    requester_spe: int
+    template_id: int
+    sc: int
+
+
+@dataclass(frozen=True)
+class FallocResponse(Message):
+    """Target LSE -> requesting LSE: the new thread's frame handle."""
+
+    request_id: int
+    handle: int
+    tid: int
+
+
+@dataclass(frozen=True)
+class StoreMsg(Message):
+    """LSE -> LSE: store one word into a remote frame (decrements SC)."""
+
+    handle: int
+    slot: int
+    value: int
+
+    @property
+    def size_bytes(self) -> int:
+        return 16  # header + address + 4-byte datum, rounded to flit
+
+
+@dataclass(frozen=True)
+class FFreeMsg(Message):
+    """Explicit FFREE of a remote frame handle."""
+
+    handle: int
+
+    @property
+    def size_bytes(self) -> int:
+        return 8
+
+
+@dataclass(frozen=True)
+class FrameFreed(Message):
+    """LSE -> DSE: a frame was released (load bookkeeping)."""
+
+    spe_id: int
+
+    @property
+    def size_bytes(self) -> int:
+        return 8
+
+
+# -- main-memory traffic -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReadRequest(Message):
+    """SPU -> main memory: scalar READ of one word."""
+
+    addr: int
+    reply_key: int
+    requester_spe: int
+
+    @property
+    def size_bytes(self) -> int:
+        return 8
+
+
+@dataclass(frozen=True)
+class ReadResponse(Message):
+    """Main memory -> SPU: the word for a scalar READ."""
+
+    reply_key: int
+    value: int
+
+    @property
+    def size_bytes(self) -> int:
+        return 8  # 4-byte datum padded to one bus flit
+
+
+@dataclass(frozen=True)
+class WriteRequest(Message):
+    """SPU -> main memory: posted scalar WRITE of one word."""
+
+    addr: int
+    value: int
+    requester_spe: int
+
+    @property
+    def size_bytes(self) -> int:
+        return 12
+
+
+@dataclass(frozen=True)
+class WriteAck(Message):
+    """Main memory -> SPU: a posted WRITE was accepted (store-queue credit)."""
+
+    requester_spe: int
+
+    @property
+    def size_bytes(self) -> int:
+        return 8
+
+
+@dataclass(frozen=True)
+class CacheFillRequest(Message):
+    """Data cache -> main memory: fetch one line."""
+
+    addr: int
+    size: int
+    requester_spe: int
+
+    @property
+    def size_bytes(self) -> int:
+        return 8
+
+
+@dataclass(frozen=True)
+class CacheFillResponse(Message):
+    """Main memory -> data cache: one line of data."""
+
+    addr: int
+    words: tuple[int, ...]
+    requester_spe: int
+
+    @property
+    def size_bytes(self) -> int:
+        return 4 * len(self.words)
+
+
+@dataclass(frozen=True)
+class DmaReadRequest(Message):
+    """MFC -> main memory: fetch one DMA chunk."""
+
+    addr: int
+    size: int
+    command_id: int
+    chunk_index: int
+    requester_spe: int
+
+    @property
+    def size_bytes(self) -> int:
+        return 8
+
+
+@dataclass(frozen=True)
+class DmaGatherRequest(Message):
+    """MFC -> main memory: gather ``count`` words, one every ``stride`` B."""
+
+    addr: int
+    count: int
+    stride: int
+    command_id: int
+    chunk_index: int
+    requester_spe: int
+
+    @property
+    def size_bytes(self) -> int:
+        return 16  # address + count + stride + ids
+
+
+@dataclass(frozen=True)
+class DmaReadResponse(Message):
+    """Main memory -> MFC: one DMA chunk of data."""
+
+    command_id: int
+    chunk_index: int
+    ls_addr: int
+    words: tuple[int, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        return 4 * len(self.words)
+
+
+@dataclass(frozen=True)
+class DmaWriteRequest(Message):
+    """MFC -> main memory: one DMA write-back chunk (DMAPUT)."""
+
+    addr: int
+    words: tuple[int, ...]
+    command_id: int
+    chunk_index: int
+    requester_spe: int
+
+    @property
+    def size_bytes(self) -> int:
+        return 8 + 4 * len(self.words)

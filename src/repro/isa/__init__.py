@@ -1,0 +1,56 @@
+"""The DTA/SPU instruction set: opcodes, instructions, programs, assembler.
+
+Public surface:
+
+* :class:`~repro.isa.opcodes.Op` / :class:`~repro.isa.opcodes.OpSpec` — the
+  opcode table (Table 1 thread-management instructions, Table 3 DMA
+  command, plus the scalar ALU/control set).
+* :class:`~repro.isa.instructions.Instruction` and the operand/annotation
+  types (:class:`~repro.isa.instructions.Reg`,
+  :class:`~repro.isa.instructions.Imm`,
+  :class:`~repro.isa.instructions.GlobalAccess`,
+  :class:`~repro.isa.instructions.LinExpr`,
+  :class:`~repro.isa.instructions.PointerParam`).
+* :class:`~repro.isa.program.ThreadProgram` /
+  :class:`~repro.isa.program.BlockKind` — validated thread templates.
+* :class:`~repro.isa.builder.ThreadBuilder` — the assembler DSL.
+"""
+
+from repro.isa.asm import AsmError, parse_program
+from repro.isa.builder import BuilderError, ThreadBuilder
+from repro.isa.instructions import (
+    GlobalAccess,
+    Imm,
+    Instruction,
+    LinExpr,
+    PointerParam,
+    Reg,
+)
+from repro.isa.opcodes import Op, OpSpec, Slot, Unit, spec_of
+from repro.isa.program import BlockKind, ProgramError, ThreadProgram
+from repro.isa.semantics import ArithmeticFault, alu_result, branch_taken, wrap64
+
+__all__ = [
+    "Op",
+    "OpSpec",
+    "Slot",
+    "Unit",
+    "spec_of",
+    "Instruction",
+    "Reg",
+    "Imm",
+    "GlobalAccess",
+    "LinExpr",
+    "PointerParam",
+    "BlockKind",
+    "ThreadProgram",
+    "ProgramError",
+    "ThreadBuilder",
+    "BuilderError",
+    "parse_program",
+    "AsmError",
+    "ArithmeticFault",
+    "alu_result",
+    "branch_taken",
+    "wrap64",
+]

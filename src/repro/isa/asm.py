@@ -1,0 +1,210 @@
+"""Textual assembly: parse the disassembly format back into programs.
+
+:meth:`~repro.isa.program.ThreadProgram.disassemble` renders a template
+as human-readable text; this module provides the inverse,
+:func:`parse_program`, so thread templates can live in ``.dta`` files,
+be patched by hand and round-trip losslessly (modulo comments' exact
+spacing):
+
+    ; thread template 'sum2'
+    .PL:
+        0  LOAD r0, #0
+        1  LOAD r1, #1
+    .EX:
+        2  ADD r0, r0, r1
+        3  STOP
+
+Syntax
+------
+* ``.PF: / .PL: / .EX: / .PS:`` open a code block;
+* one instruction per line: mnemonic then comma-separated operands —
+  ``rN`` registers, ``#N`` immediates, ``@N`` flat branch targets,
+  ``tN`` DMA tags, ``+N`` strides;
+* an optional leading flat index (ignored on input) and an optional
+  ``; comment`` suffix;
+* a ``frame N`` directive sets ``frame_words``; ``ptr SLOT OBJ``
+  declares a pointer parameter.
+
+Access annotations are compiler metadata, not architectural state, so
+they have no text form; parsing a disassembled program drops them (the
+paper's pass has already consumed them by the time code is emitted).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.instructions import Imm, Instruction, PointerParam, Reg
+from repro.isa.opcodes import Op, spec_of
+from repro.isa.program import BlockKind, ThreadProgram
+
+__all__ = ["parse_program", "AsmError"]
+
+
+class AsmError(ValueError):
+    """Malformed assembly text."""
+
+
+_BLOCK_RE = re.compile(r"^\.(PF|PL|EX|PS):$")
+_NAME_RE = re.compile(r"^;\s*thread template '([^']+)'")
+_INDEX_RE = re.compile(r"^(\d+)\s+(.*)$")
+
+
+def _parse_operand(token: str, line_no: int) -> tuple[str, object]:
+    token = token.strip()
+    if not token:
+        raise AsmError(f"line {line_no}: empty operand")
+    head, body = token[0], token[1:]
+    try:
+        if head == "r":
+            return "reg", Reg(int(body))
+        if head == "#":
+            return "imm", int(body)
+        if head == "@":
+            return "target", int(body)
+        if head == "t":
+            return "tag", int(body)
+        if head == "+":
+            return "stride", int(body)
+    except ValueError as exc:
+        raise AsmError(f"line {line_no}: bad operand {token!r}") from exc
+    raise AsmError(f"line {line_no}: unrecognized operand {token!r}")
+
+
+def _parse_instruction(text: str, line_no: int) -> Instruction:
+    # Strip a trailing comment.
+    comment = ""
+    if ";" in text:
+        text, comment = text.split(";", 1)
+        comment = comment.strip()
+    text = text.strip()
+    if not text:
+        raise AsmError(f"line {line_no}: empty instruction")
+    parts = text.split(None, 1)
+    mnemonic = parts[0]
+    try:
+        op = Op(mnemonic)
+    except ValueError as exc:
+        raise AsmError(f"line {line_no}: unknown opcode {mnemonic!r}") from exc
+    operand_text = parts[1] if len(parts) > 1 else ""
+    tokens = [t for t in (s.strip() for s in operand_text.split(",")) if t]
+    fields = [f for f in spec_of(op).signature.split(",") if f]
+    if len(tokens) != len(fields):
+        raise AsmError(
+            f"line {line_no}: {mnemonic} expects {len(fields)} operands "
+            f"({spec_of(op).signature}), got {len(tokens)}"
+        )
+    kw: dict[str, object] = {"comment": comment}
+    for field, token in zip(fields, tokens):
+        kind, value = _parse_operand(token, line_no)
+        if field == "rd":
+            if kind != "reg":
+                raise AsmError(f"line {line_no}: destination must be rN")
+            kw["rd"] = value.index  # type: ignore[union-attr]
+        elif field in ("ra", "rb"):
+            if kind == "reg":
+                kw[field] = value
+            elif kind == "imm":
+                kw[field] = Imm(value)  # type: ignore[arg-type]
+            else:
+                raise AsmError(
+                    f"line {line_no}: {field} must be a register or immediate"
+                )
+        elif field == "imm":
+            if kind != "imm":
+                raise AsmError(f"line {line_no}: expected #N immediate")
+            kw["imm"] = value
+        elif field == "target":
+            if kind != "target":
+                raise AsmError(f"line {line_no}: expected @N branch target")
+            kw["target"] = value
+        elif field == "tag":
+            if kind != "tag":
+                raise AsmError(f"line {line_no}: expected tN tag")
+            kw["tag"] = value
+        elif field == "stride":
+            if kind != "stride":
+                raise AsmError(f"line {line_no}: expected +N stride")
+            kw["stride"] = value
+    try:
+        return Instruction(op=op, **kw)  # type: ignore[arg-type]
+    except ValueError as exc:
+        raise AsmError(f"line {line_no}: {exc}") from exc
+
+
+def parse_program(text: str, name: str | None = None) -> ThreadProgram:
+    """Parse assembly text into a validated :class:`ThreadProgram`.
+
+    The template name is taken from the header comment unless ``name``
+    overrides it; ``frame_words`` is inferred from the largest frame slot
+    referenced unless a ``frame N`` directive says otherwise.
+    """
+    blocks: dict[BlockKind, list[Instruction]] = {}
+    current: BlockKind | None = None
+    parsed_name = name
+    frame_words: int | None = None
+    pointer_params: list[PointerParam] = []
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        m = _NAME_RE.match(line)
+        if m:
+            if parsed_name is None:
+                parsed_name = m.group(1)
+            continue
+        if line.startswith(";"):
+            continue
+        m = _BLOCK_RE.match(line)
+        if m:
+            kind = BlockKind(m.group(1))
+            if kind in blocks:
+                raise AsmError(f"line {line_no}: duplicate block {kind.value}")
+            blocks[kind] = []
+            current = kind
+            continue
+        parts = line.split()
+        if parts[0] == "frame":
+            try:
+                frame_words = int(parts[1])
+            except (IndexError, ValueError) as exc:
+                raise AsmError(f"line {line_no}: frame directive needs a "
+                               f"number") from exc
+            continue
+        if parts[0] == "ptr":
+            try:
+                pointer_params.append(
+                    PointerParam(slot=int(parts[1]), obj=parts[2])
+                )
+            except (IndexError, ValueError) as exc:
+                raise AsmError(f"line {line_no}: ptr directive needs "
+                               f"'ptr SLOT OBJ'") from exc
+            continue
+        if current is None:
+            raise AsmError(f"line {line_no}: instruction before any block")
+        m = _INDEX_RE.match(line)
+        if m:
+            line = m.group(2)
+        blocks[current].append(_parse_instruction(line, line_no))
+
+    if not blocks:
+        raise AsmError("no code blocks found")
+    if frame_words is None:
+        frame_words = _infer_frame_words(blocks)
+    return ThreadProgram(
+        name=parsed_name or "anonymous",
+        blocks={k: tuple(v) for k, v in blocks.items()},
+        pointer_params=tuple(pointer_params),
+        frame_words=frame_words,
+    )
+
+
+def _infer_frame_words(blocks: dict[BlockKind, list[Instruction]]) -> int:
+    """Largest frame slot referenced by LOAD/STOREF, plus one."""
+    top = 0
+    for instrs in blocks.values():
+        for instr in instrs:
+            if instr.op in (Op.LOAD, Op.STOREF) and instr.imm is not None:
+                top = max(top, instr.imm + 1)
+    return top

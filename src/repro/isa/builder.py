@@ -1,0 +1,450 @@
+"""Assembler DSL for writing DTA thread templates.
+
+The paper's benchmarks are "hand-coded for the original DTA"; this builder
+is the reproduction's assembler.  It provides
+
+* **symbolic registers** — ``b.reg("acc")`` allocates a register and any
+  operand may be referred to by name;
+* **named frame slots** — ``b.slot("A_ptr")`` allocates a frame slot, and
+  ``b.pointer_slot("A_ptr", obj="A")`` additionally marks it as a pointer
+  parameter for the prefetch pass;
+* **labels and structured loops** — ``b.label(...)`` / ``b.for_range(...)``;
+* **block discipline** — instructions are emitted into the current code
+  block (``with b.block(BlockKind.EX): ...``) and the resulting
+  :class:`~repro.isa.program.ThreadProgram` re-validates everything.
+
+Example
+-------
+>>> from repro.isa import BlockKind, ThreadBuilder
+>>> b = ThreadBuilder("sum2")
+>>> a, c = b.slot("a"), b.slot("b")
+>>> with b.block(BlockKind.PL):
+...     b.load("x", a)
+...     b.load("y", c)
+>>> with b.block(BlockKind.EX):
+...     b.add("x", "x", "y")
+...     b.stop()
+>>> program = b.build()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.isa.instructions import (
+    GlobalAccess,
+    Imm,
+    Instruction,
+    Operand,
+    PointerParam,
+    Reg,
+)
+from repro.isa.opcodes import Op, spec_of
+from repro.isa.program import BlockKind, ProgramError, ThreadProgram
+
+__all__ = ["ThreadBuilder", "BuilderError"]
+
+
+class BuilderError(ValueError):
+    """Misuse of the thread builder."""
+
+
+RegLike = "Reg | str"
+SrcLike = "Reg | str | Imm | int"
+
+
+class ThreadBuilder:
+    """Incrementally assembles one :class:`ThreadProgram`."""
+
+    def __init__(self, name: str, num_registers: int = 128) -> None:
+        self.name = name
+        self._num_registers = num_registers
+        self._regs: dict[str, Reg] = {}
+        self._next_reg = 0
+        self._slots: dict[str, int] = {}
+        self._next_slot = 0
+        self._pointer_params: list[PointerParam] = []
+        self._blocks: dict[BlockKind, list[Instruction]] = {}
+        self._current: BlockKind | None = None
+        #: label -> (block, in-block index)
+        self._labels: dict[str, tuple[BlockKind, int]] = {}
+        self._label_seq = 0
+
+    # -- registers & slots ---------------------------------------------------
+
+    def reg(self, name: str) -> Reg:
+        """Allocate (or look up) the symbolic register ``name``."""
+        if name not in self._regs:
+            if self._next_reg >= self._num_registers:
+                raise BuilderError(
+                    f"{self.name}: out of registers allocating {name!r} "
+                    f"(limit {self._num_registers})"
+                )
+            self._regs[name] = Reg(self._next_reg)
+            self._next_reg += 1
+        return self._regs[name]
+
+    def slot(self, name: str) -> int:
+        """Allocate (or look up) the named frame slot ``name``."""
+        if name not in self._slots:
+            self._slots[name] = self._next_slot
+            self._next_slot += 1
+        return self._slots[name]
+
+    def pointer_slot(self, name: str, obj: str) -> int:
+        """Allocate frame slot ``name`` holding a pointer into ``obj``."""
+        index = self.slot(name)
+        for p in self._pointer_params:
+            if p.slot == index:
+                if p.obj != obj:
+                    raise BuilderError(
+                        f"{self.name}: slot {name!r} already points into "
+                        f"{p.obj!r}"
+                    )
+                return index
+        self._pointer_params.append(PointerParam(slot=index, obj=obj))
+        return index
+
+    def reserve_slots(self, count: int) -> int:
+        """Reserve ``count`` anonymous slots; returns the first index."""
+        if count < 1:
+            raise BuilderError(f"{self.name}: reserve_slots needs count >= 1")
+        first = self._next_slot
+        self._next_slot += count
+        return first
+
+    @property
+    def frame_words(self) -> int:
+        return self._next_slot
+
+    # -- blocks & labels -------------------------------------------------------
+
+    @contextlib.contextmanager
+    def block(self, kind: BlockKind) -> Iterator["ThreadBuilder"]:
+        """Emit subsequent instructions into the ``kind`` code block."""
+        if self._current is not None:
+            raise BuilderError(f"{self.name}: blocks cannot nest")
+        self._current = kind
+        self._blocks.setdefault(kind, [])
+        try:
+            yield self
+        finally:
+            self._current = None
+
+    def label(self, name: str | None = None) -> str:
+        """Bind a label at the current position of the current block."""
+        if self._current is None:
+            raise BuilderError(f"{self.name}: label outside of a block")
+        if name is None:
+            name = f".L{self._label_seq}"
+            self._label_seq += 1
+        if name in self._labels:
+            raise BuilderError(f"{self.name}: duplicate label {name!r}")
+        self._labels[name] = (self._current, len(self._blocks[self._current]))
+        return name
+
+    # -- operand coercion -------------------------------------------------------
+
+    def _r(self, value: "Reg | str") -> Reg:
+        if isinstance(value, Reg):
+            return value
+        if isinstance(value, str):
+            return self.reg(value)
+        raise BuilderError(f"{self.name}: expected a register, got {value!r}")
+
+    def _src(self, value: "Reg | str | Imm | int") -> Operand:
+        if isinstance(value, (Reg, Imm)):
+            return value
+        if isinstance(value, str):
+            return self.reg(value)
+        if isinstance(value, int):
+            return Imm(value)
+        raise BuilderError(f"{self.name}: bad source operand {value!r}")
+
+    # -- emission ------------------------------------------------------------------
+
+    def emit(self, instr: Instruction) -> Instruction:
+        """Append a fully-formed instruction to the current block."""
+        if self._current is None:
+            raise BuilderError(
+                f"{self.name}: instruction {instr.op.value} outside of a block"
+            )
+        self._blocks[self._current].append(instr)
+        return instr
+
+    def _emit(self, op: Op, **kw: object) -> Instruction:
+        return self.emit(Instruction(op=op, **kw))  # type: ignore[arg-type]
+
+    # ALU ------------------------------------------------------------------------
+
+    def li(self, rd: RegLike, value: int, comment: str = "") -> Instruction:
+        return self._emit(Op.LI, rd=self._r(rd).index, imm=value, comment=comment)
+
+    def mov(self, rd: RegLike, ra: SrcLike, comment: str = "") -> Instruction:
+        return self._emit(Op.MOV, rd=self._r(rd).index, ra=self._src(ra),
+                          comment=comment)
+
+    def _alu3(self, op: Op, rd: RegLike, ra: SrcLike, rb: SrcLike,
+              comment: str) -> Instruction:
+        return self._emit(op, rd=self._r(rd).index, ra=self._src(ra),
+                          rb=self._src(rb), comment=comment)
+
+    def _alui(self, op: Op, rd: RegLike, ra: SrcLike, imm: int,
+              comment: str) -> Instruction:
+        return self._emit(op, rd=self._r(rd).index, ra=self._src(ra), imm=imm,
+                          comment=comment)
+
+    def add(self, rd, ra, rb, comment: str = "") -> Instruction:
+        return self._alu3(Op.ADD, rd, ra, rb, comment)
+
+    def sub(self, rd, ra, rb, comment: str = "") -> Instruction:
+        return self._alu3(Op.SUB, rd, ra, rb, comment)
+
+    def mul(self, rd, ra, rb, comment: str = "") -> Instruction:
+        return self._alu3(Op.MUL, rd, ra, rb, comment)
+
+    def div(self, rd, ra, rb, comment: str = "") -> Instruction:
+        return self._alu3(Op.DIV, rd, ra, rb, comment)
+
+    def mod(self, rd, ra, rb, comment: str = "") -> Instruction:
+        return self._alu3(Op.MOD, rd, ra, rb, comment)
+
+    def and_(self, rd, ra, rb, comment: str = "") -> Instruction:
+        return self._alu3(Op.AND, rd, ra, rb, comment)
+
+    def or_(self, rd, ra, rb, comment: str = "") -> Instruction:
+        return self._alu3(Op.OR, rd, ra, rb, comment)
+
+    def xor(self, rd, ra, rb, comment: str = "") -> Instruction:
+        return self._alu3(Op.XOR, rd, ra, rb, comment)
+
+    def shl(self, rd, ra, rb, comment: str = "") -> Instruction:
+        return self._alu3(Op.SHL, rd, ra, rb, comment)
+
+    def shr(self, rd, ra, rb, comment: str = "") -> Instruction:
+        return self._alu3(Op.SHR, rd, ra, rb, comment)
+
+    def addi(self, rd, ra, imm: int, comment: str = "") -> Instruction:
+        return self._alui(Op.ADDI, rd, ra, imm, comment)
+
+    def subi(self, rd, ra, imm: int, comment: str = "") -> Instruction:
+        return self._alui(Op.SUBI, rd, ra, imm, comment)
+
+    def muli(self, rd, ra, imm: int, comment: str = "") -> Instruction:
+        return self._alui(Op.MULI, rd, ra, imm, comment)
+
+    def andi(self, rd, ra, imm: int, comment: str = "") -> Instruction:
+        return self._alui(Op.ANDI, rd, ra, imm, comment)
+
+    def ori(self, rd, ra, imm: int, comment: str = "") -> Instruction:
+        return self._alui(Op.ORI, rd, ra, imm, comment)
+
+    def xori(self, rd, ra, imm: int, comment: str = "") -> Instruction:
+        return self._alui(Op.XORI, rd, ra, imm, comment)
+
+    def shli(self, rd, ra, imm: int, comment: str = "") -> Instruction:
+        return self._alui(Op.SHLI, rd, ra, imm, comment)
+
+    def shri(self, rd, ra, imm: int, comment: str = "") -> Instruction:
+        return self._alui(Op.SHRI, rd, ra, imm, comment)
+
+    def slt(self, rd, ra, rb, comment: str = "") -> Instruction:
+        return self._alu3(Op.SLT, rd, ra, rb, comment)
+
+    def slti(self, rd, ra, imm: int, comment: str = "") -> Instruction:
+        return self._alui(Op.SLTI, rd, ra, imm, comment)
+
+    def seq(self, rd, ra, rb, comment: str = "") -> Instruction:
+        return self._alu3(Op.SEQ, rd, ra, rb, comment)
+
+    def seqi(self, rd, ra, imm: int, comment: str = "") -> Instruction:
+        return self._alui(Op.SEQI, rd, ra, imm, comment)
+
+    def min_(self, rd, ra, rb, comment: str = "") -> Instruction:
+        return self._alu3(Op.MIN, rd, ra, rb, comment)
+
+    def max_(self, rd, ra, rb, comment: str = "") -> Instruction:
+        return self._alu3(Op.MAX, rd, ra, rb, comment)
+
+    def nop(self, comment: str = "") -> Instruction:
+        return self._emit(Op.NOP, comment=comment)
+
+    # Control ------------------------------------------------------------------
+
+    def beq(self, ra, rb, target: str, comment: str = "") -> Instruction:
+        return self._emit(Op.BEQ, ra=self._src(ra), rb=self._src(rb),
+                          target=target, comment=comment)
+
+    def bne(self, ra, rb, target: str, comment: str = "") -> Instruction:
+        return self._emit(Op.BNE, ra=self._src(ra), rb=self._src(rb),
+                          target=target, comment=comment)
+
+    def blt(self, ra, rb, target: str, comment: str = "") -> Instruction:
+        return self._emit(Op.BLT, ra=self._src(ra), rb=self._src(rb),
+                          target=target, comment=comment)
+
+    def bge(self, ra, rb, target: str, comment: str = "") -> Instruction:
+        return self._emit(Op.BGE, ra=self._src(ra), rb=self._src(rb),
+                          target=target, comment=comment)
+
+    def beqz(self, ra, target: str, comment: str = "") -> Instruction:
+        return self._emit(Op.BEQZ, ra=self._src(ra), target=target,
+                          comment=comment)
+
+    def bnez(self, ra, target: str, comment: str = "") -> Instruction:
+        return self._emit(Op.BNEZ, ra=self._src(ra), target=target,
+                          comment=comment)
+
+    def jmp(self, target: str, comment: str = "") -> Instruction:
+        return self._emit(Op.JMP, target=target, comment=comment)
+
+    @contextlib.contextmanager
+    def for_range(self, counter: RegLike, start: SrcLike, stop: SrcLike,
+                  step: int = 1) -> Iterator[Reg]:
+        """Structured counted loop: ``for counter in range(start, stop, step)``.
+
+        Emits the init before the body, and the increment + back-branch
+        after it.  ``stop`` may be a register or an immediate.  The loop
+        body must not fall outside the current block.
+        """
+        if step == 0:
+            raise BuilderError(f"{self.name}: for_range step must be nonzero")
+        creg = self._r(counter)
+        sstart = self._src(start)
+        if isinstance(sstart, Imm):
+            self.li(creg, sstart.value, comment="loop init")
+        else:
+            self.mov(creg, sstart, comment="loop init")
+        top = self.label()
+        yield creg
+        self.addi(creg, creg, step, comment="loop step")
+        cond = self.reg(f".loopcond{self._label_seq}")
+        sstop = self._src(stop)
+        if step > 0:
+            if isinstance(sstop, Imm):
+                self.slti(cond, creg, sstop.value, comment="loop test")
+            else:
+                self.slt(cond, creg, sstop, comment="loop test")
+            self.bnez(cond, top, comment="loop back-edge")
+        else:
+            if isinstance(sstop, Imm):
+                # counter > stop  <=>  stop < counter
+                self.li(cond, sstop.value)
+                self.slt(cond, cond, creg, comment="loop test")
+            else:
+                self.slt(cond, sstop, creg, comment="loop test")
+            self.bnez(cond, top, comment="loop back-edge")
+
+    # Memory / DTA ------------------------------------------------------------------
+
+    def load(self, rd: RegLike, slot: "int | str", comment: str = "") -> Instruction:
+        """LOAD rd <- own_frame[slot]."""
+        index = self._slots[slot] if isinstance(slot, str) else slot
+        return self._emit(Op.LOAD, rd=self._r(rd).index, imm=index,
+                          comment=comment)
+
+    def storef(self, slot: "int | str", ra: RegLike, comment: str = "") -> Instruction:
+        """STOREF own_frame[slot] <- ra (self-store, no SC effect)."""
+        index = self._slots[slot] if isinstance(slot, str) else slot
+        return self._emit(Op.STOREF, ra=self._r(ra), imm=index, comment=comment)
+
+    def store(self, handle: RegLike, slot: int, value: RegLike,
+              comment: str = "") -> Instruction:
+        """STORE frame_of(handle)[slot] <- value (decrements target SC)."""
+        return self._emit(Op.STORE, ra=self._r(handle), rb=self._r(value),
+                          imm=slot, comment=comment)
+
+    def lload(self, rd: RegLike, base: RegLike, offset: int = 0,
+              comment: str = "") -> Instruction:
+        return self._emit(Op.LLOAD, rd=self._r(rd).index, ra=self._r(base),
+                          imm=offset, comment=comment)
+
+    def lstore(self, base: RegLike, offset: int, value: RegLike,
+               comment: str = "") -> Instruction:
+        return self._emit(Op.LSTORE, ra=self._r(base), rb=self._r(value),
+                          imm=offset, comment=comment)
+
+    def read(self, rd: RegLike, base: RegLike, offset: int = 0,
+             access: GlobalAccess | None = None, comment: str = "") -> Instruction:
+        return self._emit(Op.READ, rd=self._r(rd).index, ra=self._r(base),
+                          imm=offset, access=access, comment=comment)
+
+    def write(self, base: RegLike, offset: int, value: RegLike,
+              access: GlobalAccess | None = None, comment: str = "") -> Instruction:
+        return self._emit(Op.WRITE, ra=self._r(base), rb=self._r(value),
+                          imm=offset, access=access, comment=comment)
+
+    def dmaget(self, ls: RegLike, mem: RegLike, size: int, tag: int,
+               comment: str = "") -> Instruction:
+        return self._emit(Op.DMAGET, ra=self._r(ls), rb=self._r(mem), imm=size,
+                          tag=tag, comment=comment)
+
+    def dmagets(self, ls: RegLike, mem: RegLike, count: int, tag: int,
+                stride: int, comment: str = "") -> Instruction:
+        """Strided gather: ``count`` words, one every ``stride`` bytes."""
+        return self._emit(Op.DMAGETS, ra=self._r(ls), rb=self._r(mem),
+                          imm=count, tag=tag, stride=stride, comment=comment)
+
+    def dmaput(self, ls: RegLike, mem: RegLike, size: int, tag: int,
+               comment: str = "") -> Instruction:
+        return self._emit(Op.DMAPUT, ra=self._r(ls), rb=self._r(mem), imm=size,
+                          tag=tag, comment=comment)
+
+    def dmawait(self, tag: int, comment: str = "") -> Instruction:
+        return self._emit(Op.DMAWAIT, tag=tag, comment=comment)
+
+    def lsalloc(self, rd: RegLike, size: int, comment: str = "") -> Instruction:
+        return self._emit(Op.LSALLOC, rd=self._r(rd).index, imm=size,
+                          comment=comment)
+
+    def falloc(self, rd: RegLike, template: int, sc: SrcLike,
+               comment: str = "") -> Instruction:
+        """FALLOC rd <- frame handle for a new ``template`` thread with SC."""
+        return self._emit(Op.FALLOC, rd=self._r(rd).index, ra=self._src(sc),
+                          imm=template, comment=comment)
+
+    def ffree(self, handle: RegLike, comment: str = "") -> Instruction:
+        return self._emit(Op.FFREE, ra=self._r(handle), comment=comment)
+
+    def stop(self, comment: str = "") -> Instruction:
+        return self._emit(Op.STOP, comment=comment)
+
+    # -- build -----------------------------------------------------------------------
+
+    def build(self) -> ThreadProgram:
+        """Resolve labels and produce the validated :class:`ThreadProgram`."""
+        # Compute flat offsets per block in canonical order.
+        offsets: dict[BlockKind, int] = {}
+        offset = 0
+        for kind in (BlockKind.PF, BlockKind.PL, BlockKind.EX, BlockKind.PS):
+            instrs = self._blocks.get(kind)
+            if instrs:
+                offsets[kind] = offset
+                offset += len(instrs)
+        resolved: dict[BlockKind, list[Instruction]] = {}
+        for kind, instrs in self._blocks.items():
+            if not instrs:
+                continue
+            out: list[Instruction] = []
+            for instr in instrs:
+                if instr.spec.is_branch and isinstance(instr.target, str):
+                    if instr.target not in self._labels:
+                        raise BuilderError(
+                            f"{self.name}: undefined label {instr.target!r}"
+                        )
+                    lkind, lindex = self._labels[instr.target]
+                    if lkind is not kind:
+                        raise ProgramError(
+                            f"{self.name}: branch from {kind.value} to label in "
+                            f"{lkind.value} (branches must stay in their block)"
+                        )
+                    instr = instr.with_target(offsets[lkind] + lindex)
+                out.append(instr)
+            resolved[kind] = out
+        return ThreadProgram(
+            name=self.name,
+            blocks={k: tuple(v) for k, v in resolved.items()},
+            pointer_params=tuple(self._pointer_params),
+            frame_words=self.frame_words,
+        )

@@ -1,0 +1,277 @@
+"""Instruction objects and compiler-facing access annotations.
+
+An :class:`Instruction` is a frozen record of an opcode plus operands.
+Source operands (``ra``/``rb``) are either a :class:`Reg` or an
+:class:`Imm`; destination (``rd``) is always a register index.  Branch
+targets are resolved by the program container from labels to flat
+instruction indices.
+
+Global-memory instructions (READ / WRITE) optionally carry a
+:class:`GlobalAccess` annotation naming the global object they touch and
+how the accessed index relates to thread parameters.  These annotations
+stand in for the static analysis the paper's compiler performs ("the
+compiler has to recognize when a thread uses different types of global
+data") and are consumed by :mod:`repro.compiler` to synthesize PreFetch
+code blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import Op, OpSpec, spec_of
+
+__all__ = [
+    "Reg",
+    "Imm",
+    "Operand",
+    "LinExpr",
+    "GlobalAccess",
+    "PointerParam",
+    "Instruction",
+]
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register operand."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"register index must be >= 0, got {self.index}")
+
+    def __repr__(self) -> str:
+        return f"r{self.index}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return f"#{self.value}"
+
+
+Operand = Reg | Imm
+
+
+@dataclass(frozen=True)
+class LinExpr:
+    """A linear expression over one thread parameter: ``scale*param + offset``.
+
+    ``param_slot`` is the frame slot holding the parameter, or ``None`` for
+    a constant.  Used by :class:`GlobalAccess` region descriptors to express
+    param-dependent prefetch regions (e.g. "rows ``i0 .. i0+k`` of A", where
+    ``i0`` arrives in frame slot 3).
+    """
+
+    param_slot: int | None = None
+    scale: int = 0
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.param_slot is None and self.scale != 0:
+            raise ValueError("constant LinExpr must have scale == 0")
+        if self.param_slot is not None and self.param_slot < 0:
+            raise ValueError(f"negative frame slot {self.param_slot}")
+
+    @property
+    def is_constant(self) -> bool:
+        return self.param_slot is None
+
+    def evaluate(self, params: dict[int, int]) -> int:
+        """Value of the expression given frame-slot values."""
+        if self.param_slot is None:
+            return self.offset
+        return self.scale * params[self.param_slot] + self.offset
+
+    @staticmethod
+    def const(value: int) -> "LinExpr":
+        return LinExpr(param_slot=None, scale=0, offset=value)
+
+
+@dataclass(frozen=True)
+class GlobalAccess:
+    """Annotation on a READ/WRITE: which global object, which region.
+
+    Attributes
+    ----------
+    obj:
+        Name of the global data object (registered with the workload's
+        :class:`~repro.workloads.common.GlobalData` layout).
+    base_slot:
+        Frame slot that holds the object's base pointer.  The prefetch
+        pass redirects this parameter to the LS buffer (scratchpad
+        pointer translation).
+    region_start:
+        Byte offset (relative to the base pointer) of the start of the
+        region this thread may touch, as a :class:`LinExpr` over thread
+        parameters.
+    region_bytes:
+        Size of the region in bytes (static per thread template).
+    dynamic_index:
+        True when the accessed element inside the region is not known
+        statically (the bitcnt table-lookup case); the worthwhileness
+        heuristic then compares expected use against region size.
+    expected_uses:
+        Statically-estimated number of executed accesses to the region
+        per thread execution (loop trip counts); drives worthwhileness.
+    stride_bytes:
+        Distance between consecutive accessed elements.  4 (default)
+        means a contiguous region; larger values describe a strided walk
+        (e.g. a matrix column) that the pass can gather with a single
+        strided DMA command (DMAGETS) instead of fetching the whole
+        span — the paper's "DMA performs it in one transaction" case.
+        ``region_bytes`` always counts the bytes *transferred*
+        (``4 * element count``); the memory span of a strided region is
+        ``stride_bytes * element count``.
+    stride_param_slot:
+        Frame slot holding the stride value (in bytes) the program's
+        address arithmetic uses.  Required for strided regions: gathered
+        elements are contiguous in the LS, so the pass redirects this
+        parameter to 4 alongside the pointer translation.
+    """
+
+    obj: str
+    base_slot: int
+    region_start: LinExpr = field(default_factory=lambda: LinExpr.const(0))
+    region_bytes: int = 4
+    dynamic_index: bool = False
+    expected_uses: int = 1
+    stride_bytes: int = 4
+    stride_param_slot: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.region_bytes < 4:
+            raise ValueError(f"region must be >= 4 bytes, got {self.region_bytes}")
+        if self.region_bytes % 4:
+            raise ValueError(f"region must be word-aligned, got {self.region_bytes}")
+        if self.expected_uses < 1:
+            raise ValueError(f"expected_uses must be >= 1, got {self.expected_uses}")
+        if self.base_slot < 0:
+            raise ValueError(f"negative base slot {self.base_slot}")
+        if self.stride_bytes < 4 or self.stride_bytes % 4:
+            raise ValueError(
+                f"stride must be a word multiple >= 4, got {self.stride_bytes}"
+            )
+        if self.stride_bytes > 4 and self.stride_param_slot is None:
+            raise ValueError(
+                "strided regions need stride_param_slot so the pass can "
+                "redirect the program's stride parameter"
+            )
+
+    @property
+    def is_strided(self) -> bool:
+        return self.stride_bytes > 4
+
+    @property
+    def region_key(self) -> tuple:
+        """Regions with equal keys are prefetched by one DMA command."""
+        return (self.obj, self.base_slot, self.region_start,
+                self.region_bytes, self.stride_bytes)
+
+
+@dataclass(frozen=True)
+class PointerParam:
+    """Marks a frame slot as a pointer parameter into a global object.
+
+    Declared by thread templates so the prefetch pass knows which PL
+    parameter loads must be redirected to translated LS pointers.
+    """
+
+    slot: int
+    obj: str
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One machine instruction.
+
+    ``target`` holds a branch label (str) before resolution or a flat
+    instruction index (int) after; the program container resolves labels.
+    """
+
+    op: Op
+    rd: int | None = None
+    ra: Operand | None = None
+    rb: Operand | None = None
+    imm: int | None = None
+    target: "str | int | None" = None
+    tag: int | None = None
+    stride: int | None = None
+    access: GlobalAccess | None = None
+    comment: str = ""
+
+    @property
+    def spec(self) -> OpSpec:
+        return spec_of(self.op)
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    def _validate(self) -> None:
+        spec = spec_of(self.op)
+        fields = [f for f in spec.signature.split(",") if f]
+        wanted = set(fields)
+        if ("rd" in wanted) != (self.rd is not None):
+            raise ValueError(f"{self.op.value}: rd {'required' if 'rd' in wanted else 'not allowed'}")
+        if ("ra" in wanted) != (self.ra is not None):
+            raise ValueError(f"{self.op.value}: ra {'required' if 'ra' in wanted else 'not allowed'}")
+        if ("rb" in wanted) != (self.rb is not None):
+            raise ValueError(f"{self.op.value}: rb {'required' if 'rb' in wanted else 'not allowed'}")
+        if ("imm" in wanted) != (self.imm is not None):
+            raise ValueError(f"{self.op.value}: imm {'required' if 'imm' in wanted else 'not allowed'}")
+        if ("target" in wanted) != (self.target is not None):
+            raise ValueError(f"{self.op.value}: target {'required' if 'target' in wanted else 'not allowed'}")
+        if ("tag" in wanted) != (self.tag is not None):
+            raise ValueError(f"{self.op.value}: tag {'required' if 'tag' in wanted else 'not allowed'}")
+        if ("stride" in wanted) != (self.stride is not None):
+            raise ValueError(f"{self.op.value}: stride {'required' if 'stride' in wanted else 'not allowed'}")
+        if self.access is not None and self.op not in (Op.READ, Op.WRITE):
+            raise ValueError(f"{self.op.value}: only READ/WRITE carry access annotations")
+
+    def with_target(self, index: int) -> "Instruction":
+        """A copy with the branch target resolved to flat index ``index``."""
+        if self.target is None:
+            raise ValueError(f"{self.op.value} has no target to resolve")
+        return Instruction(
+            op=self.op, rd=self.rd, ra=self.ra, rb=self.rb, imm=self.imm,
+            target=index, tag=self.tag, stride=self.stride,
+            access=self.access, comment=self.comment,
+        )
+
+    def replace_op(self, op: Op, *, drop_access: bool = False) -> "Instruction":
+        """A copy with a different opcode (used by READ -> LLOAD rewriting)."""
+        return Instruction(
+            op=op, rd=self.rd, ra=self.ra, rb=self.rb, imm=self.imm,
+            target=self.target, tag=self.tag, stride=self.stride,
+            access=None if drop_access else self.access,
+            comment=self.comment,
+        )
+
+    def __str__(self) -> str:
+        spec = spec_of(self.op)
+        parts: list[str] = []
+        for f in [f for f in spec.signature.split(",") if f]:
+            if f == "rd":
+                parts.append(f"r{self.rd}")
+            elif f == "ra":
+                parts.append(repr(self.ra))
+            elif f == "rb":
+                parts.append(repr(self.rb))
+            elif f == "imm":
+                parts.append(f"#{self.imm}")
+            elif f == "target":
+                parts.append(f"@{self.target}")
+            elif f == "tag":
+                parts.append(f"t{self.tag}")
+            elif f == "stride":
+                parts.append(f"+{self.stride}")
+        text = f"{self.op.value} " + ", ".join(parts) if parts else self.op.value
+        if self.comment:
+            text = f"{text:<32}; {self.comment}"
+        return text

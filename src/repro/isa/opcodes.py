@@ -1,0 +1,204 @@
+"""Opcode definitions for the DTA/SPU instruction set.
+
+The reproduction uses a scalar RISC ISA with the DTA thread-management
+extensions of Table 1 (FALLOC / FFREE / STOP / LOAD / STORE), the
+main-memory access instructions the paper adds for the Cell SPU
+(READ / WRITE), and the DMA programming command of Table 3 (DMAGET, whose
+operands are the LS address, the main-memory address, the size and the
+tag ID).
+
+Every opcode carries an :class:`OpSpec` describing
+
+* its **issue slot** — the SPU dual-issues one :data:`Slot.MEM` and one
+  :data:`Slot.ALU` instruction per cycle, in program order;
+* its **result latency** (for scoreboard modeling; ``None`` means the
+  latency is dynamic, e.g. a main-memory READ);
+* its **operand signature**, validated by the builder;
+* its **unit** — which hardware unit a stall on this instruction is
+  attributed to (this drives the Figure 5 breakdown).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Slot", "Unit", "Op", "OpSpec", "SPEC", "spec_of"]
+
+
+class Slot(enum.Enum):
+    """Issue slot an instruction occupies."""
+
+    ALU = "alu"
+    MEM = "mem"
+
+
+class Unit(enum.Enum):
+    """Hardware unit that services an instruction (stall attribution)."""
+
+    PIPE = "pipe"  # serviced inside the pipeline (ALU, branches)
+    LS = "ls"  # local store (frame + prefetched-data accesses)
+    MAIN = "main"  # main memory
+    LSE = "lse"  # local scheduler element
+    MFC = "mfc"  # DMA controller
+
+
+class Op(enum.Enum):
+    """All opcodes understood by the SPU model."""
+
+    # -- ALU ---------------------------------------------------------------
+    LI = "LI"  # rd <- imm
+    MOV = "MOV"  # rd <- ra
+    ADD = "ADD"
+    SUB = "SUB"
+    MUL = "MUL"
+    DIV = "DIV"
+    MOD = "MOD"
+    AND = "AND"
+    OR = "OR"
+    XOR = "XOR"
+    SHL = "SHL"
+    SHR = "SHR"
+    ADDI = "ADDI"
+    SUBI = "SUBI"
+    MULI = "MULI"
+    ANDI = "ANDI"
+    ORI = "ORI"
+    XORI = "XORI"
+    SHLI = "SHLI"
+    SHRI = "SHRI"
+    SLT = "SLT"  # rd <- (ra < rb)
+    SLTI = "SLTI"
+    SEQ = "SEQ"  # rd <- (ra == rb)
+    SEQI = "SEQI"
+    MIN = "MIN"
+    MAX = "MAX"
+    NOP = "NOP"
+    # -- control (uses the ALU slot; SPU has no branch prediction) ----------
+    BEQ = "BEQ"
+    BNE = "BNE"
+    BLT = "BLT"
+    BGE = "BGE"
+    BEQZ = "BEQZ"
+    BNEZ = "BNEZ"
+    JMP = "JMP"
+    # -- frame memory (Table 1: LOAD/STORE address the frame memory) --------
+    LOAD = "LOAD"  # rd <- own_frame[imm]
+    STOREF = "STOREF"  # own_frame[imm] <- ra   (self-store; no SC effect)
+    STORE = "STORE"  # frame_of(handle=ra)[imm] <- rb  (decrements SC)
+    # -- local store (prefetched global data) --------------------------------
+    LLOAD = "LLOAD"  # rd <- LS[ra + imm]
+    LSTORE = "LSTORE"  # LS[ra + imm] <- rb
+    # -- main memory ----------------------------------------------------------
+    READ = "READ"  # rd <- MEM[ra + imm]
+    WRITE = "WRITE"  # MEM[ra + imm] <- rb  (posted)
+    # -- DMA / prefetch (Table 3 command format) -----------------------------
+    DMAGET = "DMAGET"  # MFC: LS[ra ..] <- MEM[rb ..], size=imm, tag=tag
+    DMAGETS = "DMAGETS"  # strided gather: imm words every `stride` bytes
+    DMAPUT = "DMAPUT"  # MFC: MEM[rb ..] <- LS[ra ..], size=imm, tag=tag
+    DMAWAIT = "DMAWAIT"  # block until DMA tag group done (in-thread wait)
+    LSALLOC = "LSALLOC"  # rd <- LSE-allocated prefetch buffer of imm bytes
+    # -- thread management (Table 1) -----------------------------------------
+    FALLOC = "FALLOC"  # rd <- handle of new frame (template=imm, SC=ra)
+    FFREE = "FFREE"  # release frame handle in ra
+    STOP = "STOP"  # thread finished
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static properties of one opcode."""
+
+    op: Op
+    slot: Slot
+    unit: Unit
+    #: Operand signature, e.g. ``"rd,ra,rb"`` — validated by the builder.
+    #: Fields: rd (dest reg), ra/rb (source reg-or-imm), imm (immediate),
+    #: target (branch label), tag (DMA tag id).
+    signature: str
+    #: Cycles until the result register is usable; ``None`` = dynamic.
+    result_latency: int | None = 1
+    is_branch: bool = False
+    #: True if the instruction may write a register.
+    writes_rd: bool = False
+
+
+def _s(op: Op, slot: Slot, unit: Unit, sig: str, lat: int | None = 1,
+       branch: bool = False) -> OpSpec:
+    return OpSpec(
+        op=op,
+        slot=slot,
+        unit=unit,
+        signature=sig,
+        result_latency=lat,
+        is_branch=branch,
+        writes_rd=sig.startswith("rd"),
+    )
+
+
+#: The full opcode table.
+SPEC: dict[Op, OpSpec] = {
+    s.op: s
+    for s in [
+        # ALU ops: 1-cycle except multiply/divide (in-order SPU FX pipes).
+        _s(Op.LI, Slot.ALU, Unit.PIPE, "rd,imm"),
+        _s(Op.MOV, Slot.ALU, Unit.PIPE, "rd,ra"),
+        _s(Op.ADD, Slot.ALU, Unit.PIPE, "rd,ra,rb"),
+        _s(Op.SUB, Slot.ALU, Unit.PIPE, "rd,ra,rb"),
+        _s(Op.MUL, Slot.ALU, Unit.PIPE, "rd,ra,rb", lat=2),
+        _s(Op.DIV, Slot.ALU, Unit.PIPE, "rd,ra,rb", lat=8),
+        _s(Op.MOD, Slot.ALU, Unit.PIPE, "rd,ra,rb", lat=8),
+        _s(Op.AND, Slot.ALU, Unit.PIPE, "rd,ra,rb"),
+        _s(Op.OR, Slot.ALU, Unit.PIPE, "rd,ra,rb"),
+        _s(Op.XOR, Slot.ALU, Unit.PIPE, "rd,ra,rb"),
+        _s(Op.SHL, Slot.ALU, Unit.PIPE, "rd,ra,rb"),
+        _s(Op.SHR, Slot.ALU, Unit.PIPE, "rd,ra,rb"),
+        _s(Op.ADDI, Slot.ALU, Unit.PIPE, "rd,ra,imm"),
+        _s(Op.SUBI, Slot.ALU, Unit.PIPE, "rd,ra,imm"),
+        _s(Op.MULI, Slot.ALU, Unit.PIPE, "rd,ra,imm", lat=2),
+        _s(Op.ANDI, Slot.ALU, Unit.PIPE, "rd,ra,imm"),
+        _s(Op.ORI, Slot.ALU, Unit.PIPE, "rd,ra,imm"),
+        _s(Op.XORI, Slot.ALU, Unit.PIPE, "rd,ra,imm"),
+        _s(Op.SHLI, Slot.ALU, Unit.PIPE, "rd,ra,imm"),
+        _s(Op.SHRI, Slot.ALU, Unit.PIPE, "rd,ra,imm"),
+        _s(Op.SLT, Slot.ALU, Unit.PIPE, "rd,ra,rb"),
+        _s(Op.SLTI, Slot.ALU, Unit.PIPE, "rd,ra,imm"),
+        _s(Op.SEQ, Slot.ALU, Unit.PIPE, "rd,ra,rb"),
+        _s(Op.SEQI, Slot.ALU, Unit.PIPE, "rd,ra,imm"),
+        _s(Op.MIN, Slot.ALU, Unit.PIPE, "rd,ra,rb"),
+        _s(Op.MAX, Slot.ALU, Unit.PIPE, "rd,ra,rb"),
+        _s(Op.NOP, Slot.ALU, Unit.PIPE, ""),
+        # Control.
+        _s(Op.BEQ, Slot.ALU, Unit.PIPE, "ra,rb,target", branch=True),
+        _s(Op.BNE, Slot.ALU, Unit.PIPE, "ra,rb,target", branch=True),
+        _s(Op.BLT, Slot.ALU, Unit.PIPE, "ra,rb,target", branch=True),
+        _s(Op.BGE, Slot.ALU, Unit.PIPE, "ra,rb,target", branch=True),
+        _s(Op.BEQZ, Slot.ALU, Unit.PIPE, "ra,target", branch=True),
+        _s(Op.BNEZ, Slot.ALU, Unit.PIPE, "ra,target", branch=True),
+        _s(Op.JMP, Slot.ALU, Unit.PIPE, "target", branch=True),
+        # Frame memory.
+        _s(Op.LOAD, Slot.MEM, Unit.LS, "rd,imm", lat=None),
+        _s(Op.STOREF, Slot.MEM, Unit.LS, "ra,imm", lat=None),
+        _s(Op.STORE, Slot.MEM, Unit.LSE, "ra,rb,imm", lat=None),
+        # Local store.
+        _s(Op.LLOAD, Slot.MEM, Unit.LS, "rd,ra,imm", lat=None),
+        _s(Op.LSTORE, Slot.MEM, Unit.LS, "ra,rb,imm", lat=None),
+        # Main memory.
+        _s(Op.READ, Slot.MEM, Unit.MAIN, "rd,ra,imm", lat=None),
+        _s(Op.WRITE, Slot.MEM, Unit.MAIN, "ra,rb,imm", lat=None),
+        # DMA.
+        _s(Op.DMAGET, Slot.MEM, Unit.MFC, "ra,rb,imm,tag", lat=None),
+        _s(Op.DMAGETS, Slot.MEM, Unit.MFC, "ra,rb,imm,tag,stride", lat=None),
+        _s(Op.DMAPUT, Slot.MEM, Unit.MFC, "ra,rb,imm,tag", lat=None),
+        _s(Op.DMAWAIT, Slot.MEM, Unit.MFC, "tag", lat=None),
+        _s(Op.LSALLOC, Slot.MEM, Unit.LSE, "rd,imm", lat=None),
+        # Thread management.
+        _s(Op.FALLOC, Slot.MEM, Unit.LSE, "rd,ra,imm", lat=None),
+        _s(Op.FFREE, Slot.MEM, Unit.LSE, "ra", lat=None),
+        _s(Op.STOP, Slot.MEM, Unit.LSE, "", lat=None),
+    ]
+}
+
+
+def spec_of(op: Op) -> OpSpec:
+    """The :class:`OpSpec` for ``op``."""
+    return SPEC[op]

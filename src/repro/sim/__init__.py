@@ -1,0 +1,56 @@
+"""Simulation kernel: engine, components, configuration and statistics."""
+
+from repro.sim.component import Component
+from repro.sim.config import (
+    BusConfig,
+    DSEConfig,
+    LocalStoreConfig,
+    LSEConfig,
+    MachineConfig,
+    MainMemoryConfig,
+    MFCConfig,
+    SPUConfig,
+    latency1_config,
+    paper_config,
+)
+from repro.sim.engine import Engine, SimulationDeadlock, SimulationLimitExceeded
+from repro.sim.trace import TraceEvent, Tracer
+from repro.sim.stats import (
+    Bucket,
+    BusStats,
+    InstructionMix,
+    MachineStats,
+    MemoryStats,
+    MFCStats,
+    SchedulerStats,
+    SpuStats,
+    TimeBreakdown,
+)
+
+__all__ = [
+    "Component",
+    "Engine",
+    "SimulationDeadlock",
+    "SimulationLimitExceeded",
+    "Tracer",
+    "TraceEvent",
+    "MachineConfig",
+    "MainMemoryConfig",
+    "LocalStoreConfig",
+    "BusConfig",
+    "MFCConfig",
+    "SPUConfig",
+    "LSEConfig",
+    "DSEConfig",
+    "paper_config",
+    "latency1_config",
+    "Bucket",
+    "TimeBreakdown",
+    "InstructionMix",
+    "SpuStats",
+    "BusStats",
+    "MemoryStats",
+    "MFCStats",
+    "SchedulerStats",
+    "MachineStats",
+]

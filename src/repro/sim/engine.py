@@ -1,0 +1,168 @@
+"""Event-skipping cycle engine.
+
+The engine owns the global cycle counter and a priority queue of pending
+component ticks.  It is *cycle-accurate* — every component sees a coherent
+integer cycle — but *event-skipping*: cycles on which no component has work
+are never visited.  This is the standard discrete-event optimization of
+clocked simulators (the UNISIM kernel the paper builds on does the same in
+its distributed-event mode) and is what makes a pure-Python reproduction of
+150-cycle-latency workloads tractable.
+
+Correctness depends on a simple wake discipline: any component that makes
+another component runnable must :meth:`~repro.sim.component.Component.wake`
+it.  If the queue drains before the run's stop condition is met the engine
+raises :class:`SimulationDeadlock` with a per-component state dump, turning
+a missed wakeup into a loud, debuggable failure instead of a hang.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable
+
+from repro.sim.component import Component
+
+__all__ = ["Engine", "SimulationDeadlock", "SimulationLimitExceeded"]
+
+
+class SimulationDeadlock(RuntimeError):
+    """The event queue drained before the stop condition was satisfied."""
+
+
+class SimulationLimitExceeded(RuntimeError):
+    """The run hit ``max_cycles`` before the stop condition was satisfied."""
+
+
+class Engine:
+    """Owns simulated time and dispatches component ticks."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._heap: list[tuple[int, int, int, object]] = []
+        self._seq = 0
+        self._components: list[Component] = []
+        #: Cycles actually visited (for event-skip efficiency metrics).
+        self.ticks_dispatched = 0
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, component: Component) -> Component:
+        """Attach ``component`` to this engine and return it."""
+        component._attach(self)
+        self._components.append(component)
+        return component
+
+    @property
+    def components(self) -> tuple[Component, ...]:
+        return tuple(self._components)
+
+    @property
+    def now(self) -> int:
+        """Current simulation cycle."""
+        return self._now
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(self, component: Component, cycle: int | None = None) -> None:
+        """Schedule a tick of ``component`` at ``cycle`` (default next cycle).
+
+        Scheduling is idempotent per target cycle: if the component already
+        has a tick scheduled at or before ``cycle`` the call is a no-op.
+        Requests for the current or past cycles are clamped to ``now + 1``
+        (a component cannot re-tick within its own cycle).
+        """
+        if component._engine is not self:
+            raise RuntimeError(
+                f"component {component.name!r} is not registered with this engine"
+            )
+        if cycle is None or cycle <= self._now:
+            cycle = self._now + 1
+        already = component._scheduled_at
+        if already is not None and already <= cycle:
+            return
+        component._scheduled_at = cycle
+        self._seq += 1
+        heapq.heappush(self._heap, (cycle, component.priority, self._seq, component))
+
+    def call_at(self, cycle: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at the start of ``cycle`` (before ticks).
+
+        Callbacks are one-shot and ordered before component ticks at the
+        same cycle (priority ``-1``).
+        """
+        if cycle <= self._now:
+            cycle = self._now + 1
+        self._seq += 1
+        heapq.heappush(self._heap, (cycle, -1, self._seq, callback))
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(
+        self,
+        until: Callable[[], bool] | None = None,
+        max_cycles: int | None = None,
+    ) -> int:
+        """Run until ``until()`` is true (checked between cycles).
+
+        Returns the final cycle count.  Raises :class:`SimulationDeadlock`
+        if the queue drains first, or :class:`SimulationLimitExceeded` if
+        ``max_cycles`` is hit.
+        """
+        heap = self._heap
+        while True:
+            if until is not None and until():
+                return self._now
+            if not heap:
+                if until is None:
+                    return self._now
+                raise SimulationDeadlock(self._deadlock_report())
+            cycle = heap[0][0]
+            if max_cycles is not None and cycle > max_cycles:
+                raise SimulationLimitExceeded(
+                    f"exceeded max_cycles={max_cycles} at cycle {self._now}\n"
+                    + self._deadlock_report()
+                )
+            self._now = cycle
+            # Dispatch every event scheduled for this cycle, in
+            # (priority, seq) order.  Ticks may push new same-cycle
+            # callbacks but never same-cycle ticks (schedule() clamps).
+            while heap and heap[0][0] == cycle:
+                _, _, _, target = heapq.heappop(heap)
+                if isinstance(target, Component):
+                    if target._scheduled_at != cycle:
+                        continue  # lazily-deleted stale entry
+                    target._scheduled_at = None
+                    self.ticks_dispatched += 1
+                    nxt = target.tick(cycle)
+                    if nxt is not None:
+                        if nxt <= cycle:
+                            raise RuntimeError(
+                                f"component {target.name!r} returned non-advancing "
+                                f"next tick {nxt} at cycle {cycle}"
+                            )
+                        self.schedule(target, nxt)
+                else:
+                    target()
+
+    def drain(self, max_cycles: int | None = None) -> int:
+        """Run until the event queue is empty; returns the final cycle."""
+        return self.run(until=None, max_cycles=max_cycles)
+
+    # -- diagnostics -------------------------------------------------------
+
+    def _deadlock_report(self) -> str:
+        lines = [
+            f"simulation deadlock at cycle {self._now}: event queue drained "
+            f"before the stop condition was met",
+            "component states:",
+        ]
+        for comp in self._components:
+            lines.append(f"  {comp.name}: {comp.describe_state()}")
+        return "\n".join(lines)
+
+    def pending_events(self) -> Iterable[tuple[int, object]]:
+        """(cycle, target) pairs currently queued, unordered (for tests)."""
+        for cycle, _prio, _seq, target in self._heap:
+            if isinstance(target, Component) and target._scheduled_at != cycle:
+                continue
+            yield cycle, target

@@ -1,0 +1,110 @@
+"""Utilities for testing DTA programs and for users exploring the ISA.
+
+:func:`run_program` wraps a single thread template into a one-spawn
+activity, runs it on a small machine and returns the
+:class:`ProgramResult` — final cycle count, run statistics and helpers to
+read memory.  It is the easiest way to execute a few instructions:
+
+>>> from repro.isa import BlockKind, ThreadBuilder
+>>> from repro.testing import run_program
+>>> b = ThreadBuilder("add")
+>>> s0, s1 = b.slot("a"), b.slot("b")
+>>> with b.block(BlockKind.PL):
+...     b.load("x", s0)
+...     b.load("y", s1)
+>>> with b.block(BlockKind.EX):
+...     b.add("x", "x", "y")
+...     b.write("rout", 0, "x")    # doctest: +SKIP
+...     b.stop()                   # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cell.machine import Machine, RunResult
+from repro.core.activity import GlobalObject, ObjRef, SpawnSpec, TLPActivity
+from repro.isa.builder import ThreadBuilder
+from repro.isa.program import ThreadProgram
+from repro.sim.config import MachineConfig
+
+__all__ = ["ProgramResult", "run_program", "run_templates", "small_config"]
+
+
+def small_config(num_spes: int = 1, **overrides) -> MachineConfig:
+    """A small, fast machine for unit tests (1 SPE by default)."""
+    cfg = MachineConfig(num_spes=num_spes)
+    if overrides:
+        cfg = cfg.replace(**overrides)
+    return cfg
+
+
+@dataclass
+class ProgramResult:
+    """Outcome of a :func:`run_program` call."""
+
+    machine: Machine
+    result: RunResult
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+    def read_global(self, name: str) -> list[int]:
+        return self.machine.read_global(name)
+
+    def word(self, name: str, index: int = 0) -> int:
+        return self.read_global(name)[index]
+
+
+def run_program(
+    program: "ThreadProgram | ThreadBuilder",
+    stores: "dict[int | str, int | ObjRef] | None" = None,
+    globals_: "list[GlobalObject] | None" = None,
+    config: MachineConfig | None = None,
+    max_cycles: int = 5_000_000,
+) -> ProgramResult:
+    """Run one thread template to completion.
+
+    ``stores`` maps frame slots (indices, or names if a builder is given)
+    to initial values; :class:`~repro.core.activity.ObjRef` values resolve
+    to global-object addresses.
+    """
+    builder: ThreadBuilder | None = None
+    if isinstance(program, ThreadBuilder):
+        builder = program
+        program = builder.build()
+    resolved: dict[int, "int | ObjRef"] = {}
+    for slot, value in (stores or {}).items():
+        if isinstance(slot, str):
+            if builder is None:
+                raise ValueError("named slots need a ThreadBuilder argument")
+            slot = builder.slot(slot)
+        resolved[slot] = value
+    return run_templates(
+        templates=[program],
+        spawns=[SpawnSpec(template=program.name, stores=resolved)],
+        globals_=globals_,
+        config=config,
+        max_cycles=max_cycles,
+    )
+
+
+def run_templates(
+    templates: list[ThreadProgram],
+    spawns: list[SpawnSpec],
+    globals_: "list[GlobalObject] | None" = None,
+    config: MachineConfig | None = None,
+    max_cycles: int = 5_000_000,
+) -> ProgramResult:
+    """Run an ad-hoc activity built from ``templates`` and ``spawns``."""
+    activity = TLPActivity(
+        name=f"test:{templates[0].name}",
+        templates=templates,
+        globals_=globals_ or [],
+        spawns=spawns,
+    )
+    machine = Machine(config if config is not None else small_config())
+    machine.load(activity)
+    result = machine.run(max_cycles=max_cycles)
+    return ProgramResult(machine=machine, result=result)

@@ -1,0 +1,31 @@
+"""The paper's benchmarks as parameterized DTA activity generators.
+
+Each module exposes ``build(...) -> Workload`` producing the baseline
+(no-prefetch) activity plus a pure-Python oracle; the prefetch variant is
+derived with :func:`repro.compiler.prefetch_transform`, exactly mirroring
+the paper's with/without-prefetching comparison.
+"""
+
+from repro.workloads import bitcount, colsum, inplace, matmul, zoom
+from repro.workloads.common import Workload, check_outputs, lcg_words, split_range
+
+__all__ = [
+    "bitcount",
+    "colsum",
+    "inplace",
+    "matmul",
+    "zoom",
+    "Workload",
+    "check_outputs",
+    "lcg_words",
+    "split_range",
+]
+
+#: Registry used by the benchmark harness: name -> build function.
+REGISTRY = {
+    "bitcnt": bitcount.build,
+    "brighten": inplace.build,
+    "colsum": colsum.build,
+    "mmul": matmul.build,
+    "zoom": zoom.build,
+}

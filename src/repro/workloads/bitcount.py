@@ -1,0 +1,492 @@
+"""Bit counting (the paper's ``bitcnt`` benchmark, after MiBench).
+
+"The bitcount from the MiBench suite is a program that counts bits for a
+certain number of iterations ... Its parallelization has been performed
+by unrolling both the main loop and the loops inside each function ...
+Global data that is used by some of the functions in the program is
+prefetched in the threads where it was needed."  (Sec. 4.2)
+
+Structure — one thread per function call, as the DTA parallelization of
+MiBench's ``bitcnts`` driver:
+
+* A **root** thread forks one ``iter`` thread per iteration — "forking a
+  vast amount of threads in a small amount of time", the source of the
+  paper's LSE stalls.
+* Each **iter** thread derives its input value in-register (MiBench
+  generates inputs the same way) and forks five **kernel** threads plus a
+  **combiner**, passing the value and result destinations through frames
+  — which is why bitcnt's Table 5 row is dominated by LOAD/STORE frame
+  traffic rather than global READs.
+* The five kernels come from MiBench bitcnts:
+
+  1. ``bit_count``     — Kernighan's clear-lowest-set-bit loop (pure ALU);
+  2. ``bitcount``      — the parallel/"nifty" masked adder (pure ALU);
+  3. ``btbl_bitcnt``   — 256-entry byte-table lookups (4 READs/call,
+     data-dependent index: the paper's not-worth-prefetching case);
+  4. ``ntbl_bitcount`` — 16-entry nibble-table lookups (8 READs/call,
+     worth prefetching: the whole table is touched);
+  5. ``bit_shifter``   — shift-and-test loop (pure ALU).
+
+* The **combiner** (SC = 9: four parameters plus five partial counts)
+  sums the kernels' results, WRITEs ``results[i]`` and post-stores a
+  token to the **join** thread (SC = iterations).  The combiner of each
+  chunk's first iteration also releases the next chain link, which keeps
+  the unrolled main loop at most one chunk ahead of completed work (and
+  the frame tables finite).
+
+The prefetch pass decouples only the nibble-table READs — 8 of the 12
+READs per iteration, mirroring the paper's "prefetching decouples 62% of
+READ instructions" — and, because kernel threads are tiny, the DMA
+programming overhead keeps the overall bitcnt speedup small (paper:
+1.13x) and makes prefetching a net loss when memory latency is 1 cycle,
+exactly as in Sec. 4.3.
+"""
+
+from __future__ import annotations
+
+from repro.core.activity import (
+    GlobalObject,
+    ObjRef,
+    SpawnRef,
+    SpawnSpec,
+    TLPActivity,
+)
+from repro.isa.builder import ThreadBuilder
+from repro.isa.instructions import GlobalAccess, LinExpr
+from repro.isa.program import BlockKind
+from repro.workloads.common import Workload
+
+__all__ = ["build", "oracle_bitcnt", "value_for_index"]
+
+_LCG_A = 1103515245
+_LCG_C = 12345
+
+#: Combiner frame layout.
+_COMB_RES, _COMB_IDX, _COMB_JOIN, _COMB_CHAIN = 0, 1, 2, 3
+_COMB_PARTIAL0 = 4
+_NUM_KERNELS = 5
+#: Frame slot of a chain link that receives the previous chunk's
+#: completion token (any otherwise-unused slot works; the token only
+#: decrements the SC).
+_ROOT_GATE_SLOT = 31
+
+
+def value_for_index(g: int) -> int:
+    """The 16-bit input value for iteration ``g`` (ISA-replicable)."""
+    return ((_LCG_A * (g + 1) + _LCG_C) >> 8) & 0xFFFF
+
+
+def oracle_bitcnt(iterations: int) -> list[int]:
+    """Expected ``results``: the five kernels agree, so 5 * popcount."""
+    return [
+        5 * bin(value_for_index(g)).count("1") for g in range(iterations)
+    ]
+
+
+# -- kernel templates -----------------------------------------------------------
+
+
+def _kernel_prolog(b: ThreadBuilder) -> None:
+    with b.block(BlockKind.PL):
+        b.load("v", b.slot("v"))
+        b.load("rcomb", b.slot("comb"))
+
+
+def _kernel_epilog(b: ThreadBuilder, partial_slot: int) -> None:
+    with b.block(BlockKind.PS):
+        b.store("rcomb", partial_slot, "c", comment="partial count")
+        b.stop()
+
+
+def _build_bit_count() -> ThreadBuilder:
+    """Kernighan's loop: clear the lowest set bit until zero."""
+    b = ThreadBuilder("k_bit_count")
+    b.slot("v"), b.slot("comb")
+    _kernel_prolog(b)
+    with b.block(BlockKind.EX):
+        b.li("c", 0)
+        b.label("top")
+        b.beqz("v", "end")
+        b.subi("t", "v", 1)
+        b.and_("v", "v", "t")
+        b.addi("c", "c", 1)
+        b.jmp("top")
+        b.label("end")
+    _kernel_epilog(b, _COMB_PARTIAL0 + 0)
+    return b
+
+
+def _build_nifty() -> ThreadBuilder:
+    """MIT "nifty parallel count": masked adds, no loops."""
+    b = ThreadBuilder("k_bitcount")
+    b.slot("v"), b.slot("comb")
+    _kernel_prolog(b)
+    with b.block(BlockKind.EX):
+        b.shri("t", "v", 1)
+        b.andi("t", "t", 0x55555555)
+        b.sub("x", "v", "t")
+        b.andi("t", "x", 0x33333333)
+        b.shri("x", "x", 2)
+        b.andi("x", "x", 0x33333333)
+        b.add("x", "x", "t")
+        b.shri("t", "x", 4)
+        b.add("x", "x", "t")
+        b.andi("x", "x", 0x0F0F0F0F)
+        b.muli("x", "x", 0x01010101)
+        b.shri("x", "x", 24)
+        b.andi("c", "x", 0xFF)
+    _kernel_epilog(b, _COMB_PARTIAL0 + 1)
+    return b
+
+
+def _build_btbl() -> ThreadBuilder:
+    """256-entry byte-table lookups: 4 READs with data-dependent indices."""
+    b = ThreadBuilder("k_btbl")
+    b.slot("v"), b.slot("comb")
+    btbl_slot = b.pointer_slot("btbl", obj="btbl")
+    access = GlobalAccess(
+        obj="btbl",
+        base_slot=btbl_slot,
+        region_start=LinExpr.const(0),
+        region_bytes=4 * 256,
+        dynamic_index=True,
+        expected_uses=1,  # per lookup site; 4 sites -> 16 B of 1024 B used
+    )
+    with b.block(BlockKind.PL):
+        b.load("v", "v")
+        b.load("rcomb", "comb")
+        b.load("rtbl", btbl_slot)
+    with b.block(BlockKind.EX):
+        b.li("c", 0)
+        for shift in (0, 8, 16, 24):
+            b.shri("idx", "v", shift)
+            b.andi("idx", "idx", 0xFF)
+            b.shli("idx", "idx", 2)
+            b.add("p", "rtbl", "idx")
+            b.read("t", "p", 0, access=access, comment="btbl[byte]")
+            b.add("c", "c", "t")
+    _kernel_epilog(b, _COMB_PARTIAL0 + 2)
+    return b
+
+
+def _build_ntbl() -> ThreadBuilder:
+    """16-entry nibble-table lookups: 8 READs; worth prefetching."""
+    b = ThreadBuilder("k_ntbl")
+    b.slot("v"), b.slot("comb")
+    ntbl_slot = b.pointer_slot("ntbl", obj="ntbl")
+    access = GlobalAccess(
+        obj="ntbl",
+        base_slot=ntbl_slot,
+        region_start=LinExpr.const(0),
+        region_bytes=4 * 16,
+        dynamic_index=True,
+        expected_uses=1,  # per lookup site; 8 sites -> 32 B of 64 B used
+    )
+    with b.block(BlockKind.PL):
+        b.load("v", "v")
+        b.load("rcomb", "comb")
+        b.load("rtbl", ntbl_slot)
+    with b.block(BlockKind.EX):
+        b.li("c", 0)
+        for shift in (0, 4, 8, 12, 16, 20, 24, 28):
+            b.shri("idx", "v", shift)
+            b.andi("idx", "idx", 0xF)
+            b.shli("idx", "idx", 2)
+            b.add("p", "rtbl", "idx")
+            b.read("t", "p", 0, access=access, comment="ntbl[nibble]")
+            b.add("c", "c", "t")
+    _kernel_epilog(b, _COMB_PARTIAL0 + 3)
+    return b
+
+
+def _build_shifter() -> ThreadBuilder:
+    """Shift-and-test loop over all bits."""
+    b = ThreadBuilder("k_shifter")
+    b.slot("v"), b.slot("comb")
+    _kernel_prolog(b)
+    with b.block(BlockKind.EX):
+        b.li("c", 0)
+        b.label("top")
+        b.beqz("v", "end")
+        b.andi("t", "v", 1)
+        b.add("c", "c", "t")
+        b.shri("v", "v", 1)
+        b.jmp("top")
+        b.label("end")
+    _kernel_epilog(b, _COMB_PARTIAL0 + 4)
+    return b
+
+
+# -- coordination templates ----------------------------------------------------------
+
+
+def _build_combiner() -> ThreadBuilder:
+    """Sums the five partial counts, writes results[i], signals the join.
+
+    The combiner of each chunk's first iteration additionally releases
+    the next chain link (its ``chain`` slot holds that link's handle;
+    zero for every other combiner) — the gating that keeps the unrolled
+    main loop from racing arbitrarily far ahead of the actual work.
+    """
+    b = ThreadBuilder("bitcnt_comb")
+    res_slot = b.slot("res_ptr")
+    idx_slot = b.slot("idx")
+    join_slot = b.slot("join")
+    chain_slot = b.slot("chain")
+    partial_slots = [b.slot(f"p{k}") for k in range(_NUM_KERNELS)]
+    assert (res_slot, idx_slot, join_slot, chain_slot) == (
+        _COMB_RES, _COMB_IDX, _COMB_JOIN, _COMB_CHAIN
+    )
+    assert partial_slots[0] == _COMB_PARTIAL0
+
+    res_access = GlobalAccess(obj="results", base_slot=res_slot, region_bytes=4)
+
+    with b.block(BlockKind.PL):
+        b.load("rres", res_slot)
+        b.load("idx", idx_slot)
+        b.load("rjoin", join_slot)
+        b.load("rchain", chain_slot)
+        for k in range(_NUM_KERNELS):
+            b.load(f"c{k}", partial_slots[k])
+    with b.block(BlockKind.EX):
+        b.mov("acc", "c0")
+        for k in range(1, _NUM_KERNELS):
+            b.add("acc", "acc", f"c{k}")
+        b.shli("off", "idx", 2)
+        b.add("rp", "rres", "off")
+        b.write("rp", 0, "acc", access=res_access, comment="results[i]")
+    with b.block(BlockKind.PS):
+        b.li("token", 1)
+        b.store("rjoin", 0, "token")
+        b.beqz("rchain", "no_chain")
+        b.store("rchain", _ROOT_GATE_SLOT, "token",
+                comment="release the next chain link")
+        b.label("no_chain")
+        b.stop()
+    return b
+
+
+def _build_iter(template_ids: dict[str, int],
+                kernel_builders: dict[str, ThreadBuilder]) -> ThreadBuilder:
+    """One iteration: derive the value, fork the five kernels + combiner."""
+    b = ThreadBuilder("bitcnt_iter")
+    idx_slot = b.slot("idx")
+    btbl_slot = b.slot("btbl_ptr")
+    ntbl_slot = b.slot("ntbl_ptr")
+    res_slot = b.slot("res_ptr")
+    join_slot = b.slot("join")
+    chain_slot = b.slot("chain")  # next chain link to release (0 = none)
+
+    with b.block(BlockKind.PL):
+        b.load("idx", idx_slot)
+        b.load("rbtbl", btbl_slot)
+        b.load("rntbl", ntbl_slot)
+        b.load("rres", res_slot)
+        b.load("rjoin", join_slot)
+        b.load("rchain", chain_slot)
+
+    with b.block(BlockKind.EX):
+        # v = value_for_index(idx), computed in-register like MiBench's
+        # generated inputs.
+        b.addi("g", "idx", 1)
+        b.muli("s", "g", _LCG_A)
+        b.addi("s", "s", _LCG_C)
+        b.shri("s", "s", 8)
+        b.andi("v", "s", 0xFFFF)
+        # Fork the combiner: 4 parameters + 5 partials.
+        b.falloc("rcomb", template_ids["bitcnt_comb"], 4 + _NUM_KERNELS)
+        # Fork the kernels (SC = number of stores each receives below).
+        b.falloc("rk0", template_ids["k_bit_count"], 2)
+        b.falloc("rk1", template_ids["k_bitcount"], 2)
+        b.falloc("rk2", template_ids["k_btbl"], 3)
+        b.falloc("rk3", template_ids["k_ntbl"], 3)
+        b.falloc("rk4", template_ids["k_shifter"], 2)
+
+    with b.block(BlockKind.PS):
+        b.store("rcomb", _COMB_RES, "rres")
+        b.store("rcomb", _COMB_IDX, "idx")
+        b.store("rcomb", _COMB_JOIN, "rjoin")
+        b.store("rcomb", _COMB_CHAIN, "rchain")
+        for reg, name in (
+            ("rk0", "k_bit_count"),
+            ("rk1", "k_bitcount"),
+            ("rk2", "k_btbl"),
+            ("rk3", "k_ntbl"),
+            ("rk4", "k_shifter"),
+        ):
+            kb = kernel_builders[name]
+            b.store(reg, kb.slot("v"), "v")
+            b.store(reg, kb.slot("comb"), "rcomb")
+            if name == "k_btbl":
+                b.store(reg, kb.slot("btbl"), "rbtbl")
+            elif name == "k_ntbl":
+                b.store(reg, kb.slot("ntbl"), "rntbl")
+        b.stop()
+    return b
+
+
+def _build_root(unroll: int, root_template_id: int, iter_template_id: int,
+                iter_b: ThreadBuilder) -> ThreadBuilder:
+    """The unrolled main loop, as a self-continuing chain.
+
+    The paper parallelizes bitcnt "by unrolling the main loop": each
+    chain link forks ``unroll`` iteration threads and, if iterations
+    remain, forks its own continuation.  This bounds the live-thread
+    count (a fork-everything root would hold its frame while blocking on
+    FALLOCs for children that need frames held by its earlier children —
+    a real frame-exhaustion deadlock unless virtual frame pointers are
+    enabled; see the A3 ablation).
+    """
+    b = ThreadBuilder("bitcnt_root")
+    btbl_slot = b.slot("btbl_ptr")
+    ntbl_slot = b.slot("ntbl_ptr")
+    res_slot = b.slot("res_ptr")
+    join_slot = b.slot("join")
+    start_slot = b.slot("start")
+    count_slot = b.slot("count")
+
+    with b.block(BlockKind.PL):
+        b.load("rbtbl", btbl_slot)
+        b.load("rntbl", ntbl_slot)
+        b.load("rres", res_slot)
+        b.load("rjoin", join_slot)
+        b.load("start", start_slot)
+        b.load("count", count_slot)
+
+    with b.block(BlockKind.EX):
+        # Fork the continuation first so the chain advances while this
+        # link is still parameterizing its iteration threads.
+        b.li("rnext", 0)
+        b.slti("last", "count", unroll + 1)
+        b.bnez("last", "no_continuation")
+        # 6 parameter stores + 1 completion token from this chunk's
+        # first combiner (the chain gate).
+        b.falloc("rnext", root_template_id, 7, comment="fork the next chunk")
+        b.label("no_continuation")
+        for k in range(unroll):
+            b.falloc(f"rit{k}", iter_template_id, 6, comment="fork iteration")
+
+    with b.block(BlockKind.PS):
+        b.beqz("rnext", "no_next_stores")
+        b.addi("nstart", "start", unroll)
+        b.subi("ncount", "count", unroll)
+        b.store("rnext", btbl_slot, "rbtbl")
+        b.store("rnext", ntbl_slot, "rntbl")
+        b.store("rnext", res_slot, "rres")
+        b.store("rnext", join_slot, "rjoin")
+        b.store("rnext", start_slot, "nstart")
+        b.store("rnext", count_slot, "ncount")
+        b.label("no_next_stores")
+        b.li("rzero", 0)
+        for k in range(unroll):
+            b.addi("idx", "start", k)
+            b.store(f"rit{k}", iter_b.slot("idx"), "idx")
+            b.store(f"rit{k}", iter_b.slot("btbl_ptr"), "rbtbl")
+            b.store(f"rit{k}", iter_b.slot("ntbl_ptr"), "rntbl")
+            b.store(f"rit{k}", iter_b.slot("res_ptr"), "rres")
+            b.store(f"rit{k}", iter_b.slot("join"), "rjoin")
+            # Only the chunk's first iteration carries the chain gate.
+            chain_reg = "rnext" if k == 0 else "rzero"
+            b.store(f"rit{k}", iter_b.slot("chain"), chain_reg)
+        b.stop()
+    return b
+
+
+def _build_join() -> ThreadBuilder:
+    b = ThreadBuilder("bitcnt_join")
+    with b.block(BlockKind.EX):
+        b.stop()
+    return b
+
+
+def build(iterations: int = 64, unroll: int = 4, seed: int = 0,
+          **_compat) -> Workload:
+    """Build the bitcnt workload for ``iterations`` iterations.
+
+    ``unroll`` is the main-loop unroll factor (iteration threads forked
+    per chain link); it must divide ``iterations``.  ``seed`` is accepted
+    for interface symmetry; inputs are a fixed deterministic sequence,
+    like MiBench's.
+    """
+    del seed
+    if iterations < 1:
+        raise ValueError(f"need >= 1 iteration, got {iterations}")
+    if unroll < 1 or iterations % unroll:
+        raise ValueError(
+            f"unroll ({unroll}) must divide iterations ({iterations})"
+        )
+
+    btbl = tuple(bin(i).count("1") for i in range(256))
+    ntbl = tuple(bin(i).count("1") for i in range(16))
+    results = oracle_bitcnt(iterations)
+
+    kernel_builders = {
+        "k_bit_count": _build_bit_count(),
+        "k_bitcount": _build_nifty(),
+        "k_btbl": _build_btbl(),
+        "k_ntbl": _build_ntbl(),
+        "k_shifter": _build_shifter(),
+    }
+    comb_b = _build_combiner()
+    # Template id layout (FALLOC immediates): fixed by list order below.
+    order = [
+        "bitcnt_root", "bitcnt_iter", "bitcnt_comb",
+        "k_bit_count", "k_bitcount", "k_btbl", "k_ntbl", "k_shifter",
+        "bitcnt_join",
+    ]
+    template_ids = {name: i for i, name in enumerate(order)}
+    iter_b = _build_iter(template_ids, kernel_builders)
+    root_b = _build_root(
+        unroll,
+        template_ids["bitcnt_root"],
+        template_ids["bitcnt_iter"],
+        iter_b,
+    )
+
+    templates = [
+        root_b.build(),
+        iter_b.build(),
+        comb_b.build(),
+        kernel_builders["k_bit_count"].build(),
+        kernel_builders["k_bitcount"].build(),
+        kernel_builders["k_btbl"].build(),
+        kernel_builders["k_ntbl"].build(),
+        kernel_builders["k_shifter"].build(),
+        _build_join().build(),
+    ]
+    assert [t.name for t in templates] == order
+
+    spawns = [
+        SpawnSpec(template="bitcnt_join", extra_sc=iterations),
+        SpawnSpec(
+            template="bitcnt_root",
+            stores={
+                root_b.slot("btbl_ptr"): ObjRef("btbl"),
+                root_b.slot("ntbl_ptr"): ObjRef("ntbl"),
+                root_b.slot("res_ptr"): ObjRef("results"),
+                root_b.slot("join"): SpawnRef(0),
+                root_b.slot("start"): 0,
+                root_b.slot("count"): iterations,
+            },
+        ),
+    ]
+    activity = TLPActivity(
+        name=f"bitcnt({iterations})",
+        templates=templates,
+        globals_=[
+            GlobalObject("btbl", btbl),
+            GlobalObject("ntbl", ntbl),
+            GlobalObject.zeros("results", iterations),
+        ],
+        spawns=spawns,
+    )
+    return Workload(
+        name=f"bitcnt({iterations})",
+        activity=activity,
+        oracle={"results": results},
+        params={
+            "iterations": iterations,
+            "unroll": unroll,
+            "threads_per_iteration": 2 + _NUM_KERNELS,
+        },
+    )

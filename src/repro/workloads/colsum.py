@@ -1,0 +1,175 @@
+"""Column sums — the strided-gather (DMAGETS) extension workload.
+
+Section 3 of the paper motivates DMA over a split-transaction network
+with exactly this access shape: "in case where thread accesses array with
+a certain stride between elements it could generate too many transactions
+(and DMA performs it in one transaction)."
+
+``colsum`` computes ``out[j] = sum_i A[i][j]`` for an n x n row-major
+matrix: each worker walks one **column** — n words, each ``4*n`` bytes
+apart.  Three strategies compare directly:
+
+* **baseline** — n blocking READs per column;
+* **block prefetch** — fetch the whole matrix per worker (contiguous DMA;
+  simple but transfers n x more bytes than needed and bloats the LS);
+* **strided gather** — one DMAGETS per column: n words transferred, one
+  DMA command, contiguous in the LS.
+
+The worker's column stride is itself a frame parameter (slot ``stride``),
+which is what lets the pass redirect it to one word when the gathered
+copy is contiguous.  ``build(..., mode=...)`` selects how the access is
+annotated: ``"gather"`` (strided region), ``"block"`` (whole-matrix
+region) or ``"none"`` (no annotation; the pass leaves the READs alone).
+"""
+
+from __future__ import annotations
+
+from repro.core.activity import (
+    GlobalObject,
+    ObjRef,
+    SpawnRef,
+    SpawnSpec,
+    TLPActivity,
+)
+from repro.isa.builder import ThreadBuilder
+from repro.isa.instructions import GlobalAccess, LinExpr
+from repro.isa.program import BlockKind
+from repro.workloads.common import Workload, lcg_words
+
+__all__ = ["build", "oracle_colsum", "MODES"]
+
+MODES = ("gather", "block", "none")
+
+
+def oracle_colsum(a: list[int], n: int) -> list[int]:
+    """Reference column sums."""
+    return [sum(a[i * n + j] for i in range(n)) for j in range(n)]
+
+
+def _build_worker(n: int, cols: int, mode: str) -> ThreadBuilder:
+    b = ThreadBuilder("colsum_worker")
+    a_slot = b.pointer_slot("A_ptr", obj="A")
+    out_slot = b.slot("out_ptr")
+    j0_slot = b.slot("j0")          # first column of this worker's range
+    stride_slot = b.slot("stride")  # row stride in bytes (spawner: 4*n)
+    join_slot = b.slot("join")
+
+    if mode == "gather":
+        access = GlobalAccess(
+            obj="A",
+            base_slot=a_slot,
+            # A column starts at A + j*4; only one column per region, so
+            # workers with cols > 1 get one region per column offset...
+            # which a static annotation cannot express.  Instead each
+            # worker handles exactly `cols` adjacent columns as separate
+            # loop nests when cols == 1 (enforced in build()).
+            region_start=LinExpr(param_slot=j0_slot, scale=4),
+            region_bytes=4 * n,  # n words transferred
+            expected_uses=n,
+            stride_bytes=4 * n,
+            stride_param_slot=stride_slot,
+        )
+    elif mode == "block":
+        access = GlobalAccess(
+            obj="A",
+            base_slot=a_slot,
+            region_start=LinExpr.const(0),
+            region_bytes=4 * n * n,  # the whole matrix
+            expected_uses=n * cols,
+        )
+    elif mode == "none":
+        access = None
+    else:
+        raise ValueError(f"unknown colsum mode {mode!r}")
+
+    with b.block(BlockKind.PL):
+        b.load("ra", a_slot)
+        b.load("rout", out_slot)
+        b.load("j0", j0_slot)
+        b.load("rstride", stride_slot)
+        b.load("rjoin", join_slot)
+
+    with b.block(BlockKind.EX):
+        b.shli("joff", "j0", 2)
+        b.add("pcol", "ra", "joff", comment="&A[0][j0]")
+        b.shli("pout", "j0", 2)
+        b.add("pout", "rout", "pout")
+        with b.for_range("c", 0, cols):
+            b.mov("p", "pcol")
+            b.li("acc", 0)
+            with b.for_range("i", 0, n):
+                b.read("v", "p", 0, access=access, comment="A[i][j]")
+                b.add("acc", "acc", "v")
+                b.add("p", "p", "rstride", comment="next row, same column")
+            b.write("pout", 0, "acc")
+            b.addi("pout", "pout", 4)
+            b.addi("pcol", "pcol", 4)
+
+    with b.block(BlockKind.PS):
+        b.li("token", 1)
+        b.store("rjoin", 0, "token")
+        b.stop()
+    return b
+
+
+def _build_join() -> ThreadBuilder:
+    b = ThreadBuilder("colsum_join")
+    with b.block(BlockKind.EX):
+        b.stop()
+    return b
+
+
+def build(n: int = 16, threads: int | None = None, mode: str = "gather",
+          seed: int = 31) -> Workload:
+    """Build the colsum workload.
+
+    In ``gather`` mode every worker handles exactly one column (the
+    strided region is per-column); in the other modes the ``n`` columns
+    are split over ``threads`` workers.
+    """
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    if mode == "gather":
+        threads = n  # one column per worker: one strided region each
+    elif threads is None:
+        threads = min(8, n)
+    if n % threads:
+        raise ValueError(f"threads ({threads}) must divide n ({n})")
+    cols = n // threads
+
+    a = lcg_words(n * n, seed=seed, lo=0, hi=100)
+    out = oracle_colsum(a, n)
+
+    worker_b = _build_worker(n, cols, mode)
+    worker = worker_b.build()
+    join = _build_join().build()
+
+    spawns = [SpawnSpec(template="colsum_join", extra_sc=threads)]
+    for t in range(threads):
+        spawns.append(
+            SpawnSpec(
+                template="colsum_worker",
+                stores={
+                    worker_b.slot("A_ptr"): ObjRef("A"),
+                    worker_b.slot("out_ptr"): ObjRef("out"),
+                    worker_b.slot("j0"): t * cols,
+                    worker_b.slot("stride"): 4 * n,
+                    worker_b.slot("join"): SpawnRef(0),
+                },
+            )
+        )
+    activity = TLPActivity(
+        name=f"colsum({n},{mode})",
+        templates=[worker, join],
+        globals_=[
+            GlobalObject("A", tuple(a)),
+            GlobalObject.zeros("out", n),
+        ],
+        spawns=spawns,
+    )
+    return Workload(
+        name=f"colsum({n},{mode})",
+        activity=activity,
+        oracle={"out": out},
+        params={"n": n, "threads": threads, "cols": cols, "mode": mode},
+    )

@@ -1,0 +1,97 @@
+"""Shared workload machinery.
+
+Every benchmark generator returns a :class:`Workload`: the baseline
+:class:`~repro.core.activity.TLPActivity` (no PF blocks — the original
+DTA), a pure-Python **oracle** for each output object, and the parameters
+used.  The prefetching variant is *derived*, exactly as in the paper, by
+running the compiler pass over the baseline:
+
+>>> wl = matmul.build(n=8, threads=4)          # doctest: +SKIP
+>>> pf_activity = prefetch_transform(wl.activity)  # doctest: +SKIP
+
+Input data is generated with a deterministic LCG so every run, test and
+benchmark sees identical values without depending on ``random`` state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.activity import TLPActivity
+from repro.isa.semantics import wrap64
+
+__all__ = ["Workload", "lcg_words", "split_range", "check_outputs"]
+
+_LCG_A = 1103515245
+_LCG_C = 12345
+_LCG_MASK = (1 << 31) - 1
+
+
+def lcg_words(count: int, seed: int = 1, lo: int = 0, hi: int = 256) -> list[int]:
+    """``count`` deterministic pseudo-random words in ``[lo, hi)``."""
+    if count < 0:
+        raise ValueError(f"negative count {count}")
+    if hi <= lo:
+        raise ValueError(f"empty range [{lo}, {hi})")
+    out = []
+    state = seed & _LCG_MASK
+    span = hi - lo
+    for _ in range(count):
+        state = (_LCG_A * state + _LCG_C) & _LCG_MASK
+        out.append(lo + (state >> 8) % span)
+    return out
+
+
+def split_range(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into ``parts`` contiguous chunks.
+
+    The first ``total % parts`` chunks get one extra element; empty
+    chunks are returned for parts > total so callers can skip them.
+    """
+    if parts < 1:
+        raise ValueError(f"need >= 1 part, got {parts}")
+    base, extra = divmod(total, parts)
+    spans = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        spans.append((start, start + size))
+        start += size
+    return spans
+
+
+@dataclass
+class Workload:
+    """A benchmark instance: activity + oracle + parameters."""
+
+    name: str
+    activity: TLPActivity
+    #: Expected final main-memory contents per output object.
+    oracle: Mapping[str, list[int]]
+    params: dict = field(default_factory=dict)
+
+    def verify(self, machine) -> None:
+        """Assert the machine's memory matches the oracle (post-run)."""
+        errors = check_outputs(self, machine)
+        if errors:
+            raise AssertionError(
+                f"{self.name}: simulated output diverges from the oracle:\n"
+                + "\n".join(errors[:20])
+            )
+
+
+def check_outputs(workload: Workload, machine) -> list[str]:
+    """Compare each oracle object against machine memory; returns diffs."""
+    errors = []
+    for obj_name, expected in workload.oracle.items():
+        actual = machine.read_global(obj_name)
+        if len(actual) != len(expected):
+            errors.append(
+                f"{obj_name}: length {len(actual)} != {len(expected)}"
+            )
+            continue
+        for i, (a, e) in enumerate(zip(actual, expected)):
+            if wrap64(a) != wrap64(e):
+                errors.append(f"{obj_name}[{i}]: got {a}, expected {e}")
+    return errors

@@ -1,0 +1,134 @@
+"""In-place image brighten — the write-back (DMAPUT) extension workload.
+
+The paper's three benchmarks only *read* global data in their hot loops,
+so its prefetch mechanism never needs to write a Local Store buffer back.
+Its future work asks for "some other advanced mechanism": this workload
+exercises exactly that — a read-modify-write over a global object.
+
+``brighten`` scales every pixel of an n x n image **in place**:
+``img[i] = (img[i] * num) >> shift``.  Each worker owns a band of rows:
+
+* baseline DTA: one blocking READ + one posted WRITE per pixel;
+* ``prefetch_transform(..., PrefetchOptions(allow_writeback=True))``:
+  the band is DMA'd in, updated with LLOAD/LSTORE at local-store speed,
+  and DMAPUT back in the PS block before the worker signals the join —
+  removing *both* directions of global traffic from the pipeline.
+
+Without ``allow_writeback`` the pass must leave the workload untouched
+(the object is written, so a read-only LS copy would go stale) — which
+makes this workload the regression test for that safety rule too.
+"""
+
+from __future__ import annotations
+
+from repro.core.activity import (
+    GlobalObject,
+    ObjRef,
+    SpawnRef,
+    SpawnSpec,
+    TLPActivity,
+)
+from repro.isa.builder import ThreadBuilder
+from repro.isa.instructions import GlobalAccess, LinExpr
+from repro.isa.program import BlockKind
+from repro.workloads.common import Workload, lcg_words
+
+__all__ = ["build", "oracle_brighten"]
+
+
+def oracle_brighten(img: list[int], num: int, shift: int) -> list[int]:
+    """Reference in-place brighten."""
+    return [(v * num) >> shift for v in img]
+
+
+def _build_worker(n: int, band: int, num: int, shift: int) -> ThreadBuilder:
+    b = ThreadBuilder("brighten_worker")
+    img_slot = b.pointer_slot("img_ptr", obj="img")
+    r0_slot = b.slot("r0")
+    join_slot = b.slot("join")
+
+    words = band * n
+    access = GlobalAccess(
+        obj="img",
+        base_slot=img_slot,
+        region_start=LinExpr(param_slot=r0_slot, scale=4 * n),
+        region_bytes=4 * words,
+        expected_uses=words,
+    )
+
+    with b.block(BlockKind.PL):
+        b.load("rimg", img_slot)
+        b.load("r0", r0_slot)
+        b.load("rjoin", join_slot)
+
+    with b.block(BlockKind.EX):
+        b.muli("off", "r0", 4 * n)
+        b.add("p", "rimg", "off", comment="&img[r0][0]")
+        with b.for_range("i", 0, words):
+            b.read("v", "p", 0, access=access)
+            b.muli("v", "v", num)
+            b.shri("v", "v", shift)
+            b.write("p", 0, "v", access=access)
+            b.addi("p", "p", 4)
+
+    with b.block(BlockKind.PS):
+        b.li("token", 1)
+        b.store("rjoin", 0, "token")
+        b.stop()
+    return b
+
+
+def _build_join() -> ThreadBuilder:
+    b = ThreadBuilder("brighten_join")
+    with b.block(BlockKind.EX):
+        b.stop()
+    return b
+
+
+def build(
+    n: int = 16,
+    threads: int | None = None,
+    num: int = 3,
+    shift: int = 1,
+    seed: int = 23,
+) -> Workload:
+    """Build the in-place brighten workload (``threads`` bands of rows)."""
+    if n < 2:
+        raise ValueError(f"need n >= 2, got {n}")
+    if threads is None:
+        threads = min(8, n)
+    if n % threads:
+        raise ValueError(f"threads ({threads}) must divide n ({n})")
+    band = n // threads
+
+    img = lcg_words(n * n, seed=seed, lo=0, hi=256)
+    expected = oracle_brighten(img, num, shift)
+
+    worker_b = _build_worker(n, band, num, shift)
+    worker = worker_b.build()
+    join = _build_join().build()
+
+    spawns = [SpawnSpec(template="brighten_join", extra_sc=threads)]
+    for t in range(threads):
+        spawns.append(
+            SpawnSpec(
+                template="brighten_worker",
+                stores={
+                    worker_b.slot("img_ptr"): ObjRef("img"),
+                    worker_b.slot("r0"): t * band,
+                    worker_b.slot("join"): SpawnRef(0),
+                },
+            )
+        )
+    activity = TLPActivity(
+        name=f"brighten({n})",
+        templates=[worker, join],
+        globals_=[GlobalObject("img", tuple(img))],
+        spawns=spawns,
+    )
+    return Workload(
+        name=f"brighten({n})",
+        activity=activity,
+        oracle={"img": expected},
+        params={"n": n, "threads": threads, "num": num, "shift": shift},
+    )

@@ -1,0 +1,173 @@
+"""Matrix multiply (the paper's ``mmul`` benchmark).
+
+"Matrix multiply (mmul) is a program that multiplies two matrices.
+Threads that run in parallel are calculating parts of the output matrix.
+The number of threads is always a power of two ... Inputs are two n by n
+matrices.  Prefetching of the parts of the input matrices is performed in
+the threads that are calculating the output matrix."  (Sec. 4.2)
+
+Structure
+---------
+* Global objects ``A``, ``B`` (inputs) and ``C`` (output), n*n words each.
+* ``threads`` worker threads, each computing a contiguous band of rows of
+  C.  A worker READs its band of A and all of B from main memory and
+  WRITEs its band of C — so, per Table 5, READs = 2*n**3 and
+  WRITEs = n**2 while frame traffic is only the handful of parameters.
+* A ``join`` thread with SC = threads; each worker post-stores one token.
+
+The A-band READ is annotated with a parameter-dependent region (rows
+``r0 .. r0+rows``), the B READ with the whole matrix — giving the
+prefetch pass one strided-band and one whole-object region per worker.
+"""
+
+from __future__ import annotations
+
+from repro.core.activity import (
+    GlobalObject,
+    ObjRef,
+    SpawnRef,
+    SpawnSpec,
+    TLPActivity,
+)
+from repro.isa.builder import ThreadBuilder
+from repro.isa.instructions import GlobalAccess, LinExpr
+from repro.isa.program import BlockKind
+from repro.workloads.common import Workload, lcg_words, split_range
+
+__all__ = ["build", "oracle_matmul"]
+
+
+def oracle_matmul(a: list[int], b: list[int], n: int) -> list[int]:
+    """Reference n*n x n*n integer matrix product (row-major)."""
+    c = [0] * (n * n)
+    for i in range(n):
+        for j in range(n):
+            acc = 0
+            for k in range(n):
+                acc += a[i * n + k] * b[k * n + j]
+            c[i * n + j] = acc
+    return c
+
+
+def _build_worker(n: int, rows: int, threads: int) -> "ThreadBuilder":
+    b = ThreadBuilder("mmul_worker")
+    a_slot = b.pointer_slot("A_ptr", obj="A")
+    b_slot = b.pointer_slot("B_ptr", obj="B")
+    c_slot = b.slot("C_ptr")
+    r0_slot = b.slot("r0")
+    join_slot = b.slot("join")
+
+    a_access = GlobalAccess(
+        obj="A",
+        base_slot=a_slot,
+        region_start=LinExpr(param_slot=r0_slot, scale=4 * n, offset=0),
+        region_bytes=4 * n * rows,
+        expected_uses=rows * n * n,
+    )
+    b_access = GlobalAccess(
+        obj="B",
+        base_slot=b_slot,
+        region_start=LinExpr.const(0),
+        region_bytes=4 * n * n,
+        expected_uses=rows * n * n,
+    )
+    c_access = GlobalAccess(obj="C", base_slot=c_slot, region_bytes=4 * n * n)
+
+    with b.block(BlockKind.PL):
+        b.load("ra", a_slot, comment="A base")
+        b.load("rb", b_slot, comment="B base")
+        b.load("rc", c_slot, comment="C base")
+        b.load("r0", r0_slot, comment="first row of this band")
+        b.load("rjoin", join_slot)
+
+    with b.block(BlockKind.EX):
+        # pa0 = &A[r0][0]; pc = &C[r0][0]
+        b.muli("rowoff", "r0", 4 * n)
+        b.add("pa0", "ra", "rowoff", comment="&A[r0][0]")
+        b.add("pc", "rc", "rowoff", comment="&C[r0][0]")
+        with b.for_range("i", 0, rows):
+            with b.for_range("j", 0, n):
+                # pb walks column j of B; pa walks row i of A.
+                b.shli("pb_off", "j", 2)
+                b.add("pb", "rb", "pb_off")
+                b.mov("pa", "pa0")
+                b.li("acc", 0)
+                with b.for_range("k", 0, n):
+                    b.read("va", "pa", 0, access=a_access, comment="A[i][k]")
+                    b.read("vb", "pb", 0, access=b_access, comment="B[k][j]")
+                    b.mul("t", "va", "vb")
+                    b.add("acc", "acc", "t")
+                    b.addi("pa", "pa", 4)
+                    b.addi("pb", "pb", 4 * n)
+                b.write("pc", 0, "acc", access=c_access, comment="C[i][j]")
+                b.addi("pc", "pc", 4)
+            b.addi("pa0", "pa0", 4 * n, comment="next row of A")
+
+    with b.block(BlockKind.PS):
+        b.li("token", 1)
+        b.store("rjoin", 0, "token", comment="signal the join thread")
+        b.stop()
+    return b
+
+
+def _build_join() -> "ThreadBuilder":
+    b = ThreadBuilder("mmul_join")
+    with b.block(BlockKind.EX):
+        b.stop(comment="all bands done")
+    return b
+
+
+def build(n: int = 32, threads: int | None = None, seed: int = 7) -> Workload:
+    """Build the mmul workload.
+
+    ``threads`` must be a power of two dividing ``n`` (paper: "the number
+    of threads is always a power of two"); it defaults to ``min(n, 16)``.
+    """
+    if n < 2:
+        raise ValueError(f"mmul needs n >= 2, got {n}")
+    if threads is None:
+        threads = min(n, 16)
+    if threads & (threads - 1):
+        raise ValueError(f"threads must be a power of two, got {threads}")
+    if n % threads:
+        raise ValueError(f"threads ({threads}) must divide n ({n})")
+    rows = n // threads
+
+    a = lcg_words(n * n, seed=seed, lo=0, hi=64)
+    bm = lcg_words(n * n, seed=seed + 1, lo=0, hi=64)
+    c = oracle_matmul(a, bm, n)
+
+    worker_b = _build_worker(n, rows, threads)
+    worker = worker_b.build()
+    join = _build_join().build()
+
+    spawns = [SpawnSpec(template="mmul_join", extra_sc=threads)]
+    for t in range(threads):
+        spawns.append(
+            SpawnSpec(
+                template="mmul_worker",
+                stores={
+                    worker_b.slot("A_ptr"): ObjRef("A"),
+                    worker_b.slot("B_ptr"): ObjRef("B"),
+                    worker_b.slot("C_ptr"): ObjRef("C"),
+                    worker_b.slot("r0"): t * rows,
+                    worker_b.slot("join"): SpawnRef(0),
+                },
+            )
+        )
+    activity = TLPActivity(
+        name=f"mmul({n})",
+        templates=[worker, join],
+        globals_=[
+            GlobalObject("A", tuple(a)),
+            GlobalObject("B", tuple(bm)),
+            GlobalObject.zeros("C", n * n),
+        ],
+        spawns=spawns,
+    )
+    return Workload(
+        name=f"mmul({n})",
+        activity=activity,
+        oracle={"C": c},
+        params={"n": n, "threads": threads, "rows_per_thread": rows},
+    )

@@ -1,0 +1,195 @@
+"""Image zoom (the paper's ``zoom`` benchmark).
+
+"Zoom is a program that zooms into one part of the input picture.  It is
+parallelized by sending different parts of the picture to different PEs.
+Input is an n by n picture.  Parts of the input image are prefetched in
+the threads that are calculating the zoom."  (Sec. 4.2)
+
+Structure
+---------
+* Global ``img`` (n*n input picture) and ``out`` ((n*z)**2 zoomed output).
+* Each worker produces a band of output rows.  Per output pixel it READs
+  the two horizontally-adjacent source pixels and writes one interpolated
+  value — 2 READs per WRITE, matching the Table 5 ratio for zoom(32)
+  (READ = 32768, WRITE = 16384 for a 32x32 input at zoom factor 4).
+* The band's source rows form a parameter-dependent prefetch region.
+
+Interpolation is integer horizontal linear filtering:
+``out[y][x] = ((z - fx) * img[sy][sx] + fx * img[sy][sx1]) >> log2(z)``
+with ``sy = y // z``, ``sx = x // z``, ``fx = x % z`` and ``sx1`` clamped
+to the row end.  The zoom factor must be a power of two.
+"""
+
+from __future__ import annotations
+
+from repro.core.activity import (
+    GlobalObject,
+    ObjRef,
+    SpawnRef,
+    SpawnSpec,
+    TLPActivity,
+)
+from repro.isa.builder import ThreadBuilder
+from repro.isa.instructions import GlobalAccess, LinExpr
+from repro.isa.program import BlockKind
+from repro.workloads.common import Workload, lcg_words
+
+__all__ = ["build", "oracle_zoom"]
+
+
+def oracle_zoom(img: list[int], n: int, z: int) -> list[int]:
+    """Reference integer zoom (row-major output of (n*z)**2 words)."""
+    m = n * z
+    out = [0] * (m * m)
+    for y in range(m):
+        sy = y // z
+        for x in range(m):
+            sx = x // z
+            fx = x % z
+            sx1 = min(sx + 1, n - 1)
+            v0 = img[sy * n + sx]
+            v1 = img[sy * n + sx1]
+            out[y * m + x] = ((z - fx) * v0 + fx * v1) // z
+    return out
+
+
+def _log2(z: int) -> int:
+    if z < 2 or z & (z - 1):
+        raise ValueError(f"zoom factor must be a power of two >= 2, got {z}")
+    return z.bit_length() - 1
+
+
+def _build_worker(n: int, z: int, band: int) -> ThreadBuilder:
+    m = n * z
+    lz = _log2(z)
+    src_rows = band // z
+    b = ThreadBuilder("zoom_worker")
+    img_slot = b.pointer_slot("img_ptr", obj="img")
+    out_slot = b.slot("out_ptr")
+    y0_slot = b.slot("y0")
+    sy0_slot = b.slot("sy0")  # y0 // z, precomputed by the spawner
+    join_slot = b.slot("join")
+
+    img_access = GlobalAccess(
+        obj="img",
+        base_slot=img_slot,
+        region_start=LinExpr(param_slot=sy0_slot, scale=4 * n, offset=0),
+        region_bytes=4 * n * src_rows,
+        expected_uses=2 * band * m,
+    )
+    out_access = GlobalAccess(obj="out", base_slot=out_slot, region_bytes=4 * m * m)
+
+    with b.block(BlockKind.PL):
+        b.load("rimg", img_slot)
+        b.load("rout", out_slot)
+        b.load("y0", y0_slot)
+        b.load("sy0", sy0_slot)
+        b.load("rjoin", join_slot)
+
+    with b.block(BlockKind.EX):
+        # prow = &img[sy0][0]; pout = &out[y0][0]
+        b.muli("t", "sy0", 4 * n)
+        b.add("prow", "rimg", "t", comment="&img[sy0][0]")
+        b.muli("t", "y0", 4 * m)
+        b.add("pout", "rout", "t", comment="&out[y0][0]")
+        b.li("nmax", 4 * (n - 1), comment="byte offset of the last column")
+        b.li("rowcnt", 0, comment="output rows since the last source row")
+        with b.for_range("yy", 0, band):
+            with b.for_range("x", 0, m):
+                b.shri("sxb", "x", lz)
+                b.shli("sxb", "sxb", 2, comment="sx in bytes")
+                b.andi("fx", "x", z - 1)
+                # sx1 = min(sx+1, n-1) in bytes:
+                b.addi("sx1b", "sxb", 4)
+                b.min_("sx1b", "sx1b", "nmax")
+                b.add("p0", "prow", "sxb")
+                b.add("p1", "prow", "sx1b")
+                b.read("v0", "p0", 0, access=img_access, comment="img[sy][sx]")
+                b.read("v1", "p1", 0, access=img_access, comment="img[sy][sx1]")
+                b.li("w0", z)
+                b.sub("w0", "w0", "fx")
+                b.mul("v0", "v0", "w0")
+                b.mul("v1", "v1", "fx")
+                b.add("v0", "v0", "v1")
+                b.shri("v0", "v0", lz)
+                b.write("pout", 0, "v0", access=out_access)
+                b.addi("pout", "pout", 4)
+            # Advance the source row once every z output rows.
+            b.addi("rowcnt", "rowcnt", 1)
+            b.slti("advance", "rowcnt", z)
+            b.bnez("advance", ".same_row")
+            b.addi("prow", "prow", 4 * n)
+            b.li("rowcnt", 0)
+            b.label(".same_row")
+
+    with b.block(BlockKind.PS):
+        b.li("token", 1)
+        b.store("rjoin", 0, "token")
+        b.stop()
+    return b
+
+
+def _build_join() -> ThreadBuilder:
+    b = ThreadBuilder("zoom_join")
+    with b.block(BlockKind.EX):
+        b.stop()
+    return b
+
+
+def build(
+    n: int = 32, z: int = 4, threads: int | None = None, seed: int = 11
+) -> Workload:
+    """Build the zoom workload.
+
+    The output has ``n*z`` rows split into ``threads`` bands; each band
+    must be a multiple of ``z`` so a band's source rows are whole rows.
+    """
+    lz = _log2(z)
+    del lz
+    m = n * z
+    if threads is None:
+        threads = min(16, n)
+    if m % threads or (m // threads) % z:
+        raise ValueError(
+            f"threads={threads} must divide n*z={m} into bands that are "
+            f"multiples of z={z}"
+        )
+    band = m // threads
+
+    img = lcg_words(n * n, seed=seed, lo=0, hi=256)
+    out = oracle_zoom(img, n, z)
+
+    worker_b = _build_worker(n, z, band)
+    worker = worker_b.build()
+    join = _build_join().build()
+
+    spawns = [SpawnSpec(template="zoom_join", extra_sc=threads)]
+    for t in range(threads):
+        y0 = t * band
+        spawns.append(
+            SpawnSpec(
+                template="zoom_worker",
+                stores={
+                    worker_b.slot("img_ptr"): ObjRef("img"),
+                    worker_b.slot("out_ptr"): ObjRef("out"),
+                    worker_b.slot("y0"): y0,
+                    worker_b.slot("sy0"): y0 // z,
+                    worker_b.slot("join"): SpawnRef(0),
+                },
+            )
+        )
+    activity = TLPActivity(
+        name=f"zoom({n})",
+        templates=[worker, join],
+        globals_=[
+            GlobalObject("img", tuple(img)),
+            GlobalObject.zeros("out", m * m),
+        ],
+        spawns=spawns,
+    )
+    return Workload(
+        name=f"zoom({n})",
+        activity=activity,
+        oracle={"out": out},
+        params={"n": n, "z": z, "threads": threads, "band": band},
+    )

@@ -1,0 +1,135 @@
+"""CLI surface: every command runs and prints sane output."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _test_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "test")
+
+
+class TestInfo:
+    def test_info_prints_tables_2_and_4(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "512 MB, 150 cycles" in out
+        assert "156 kB" in out
+        assert "4 x 8 B/cycle" in out
+        assert "queue 16" in out
+
+
+class TestRun:
+    def test_run_prefetch_default(self, capsys):
+        assert main(["run", "mmul", "--spes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "with prefetching" in out
+        assert "cycles" in out
+
+    def test_run_no_prefetch(self, capsys):
+        assert main(["run", "mmul", "--spes", "2", "--no-prefetch"]) == 0
+        out = capsys.readouterr().out
+        assert "original DTA" in out
+
+    def test_run_compare_reports_speedup(self, capsys):
+        assert main(["run", "zoom", "--spes", "2", "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "decoupled: 100%" in out
+
+    def test_run_latency_override(self, capsys):
+        assert main(
+            ["run", "mmul", "--spes", "2", "--latency", "1", "--compare"]
+        ) == 0
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fibonacci"])
+
+
+class TestSweep:
+    def test_sweep_prints_both_tables(self, capsys):
+        assert main(["sweep", "mmul", "--spes", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Execution time" in out
+        assert "Scalability" in out
+
+
+class TestTables:
+    def test_tables_prints_all_artifacts(self, capsys):
+        assert main(["tables", "--spes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out
+        assert "Figure 5 (no prefetching)" in out
+        assert "Figure 5 (with prefetching)" in out
+        assert "Figure 9" in out
+
+
+class TestDisasm:
+    def test_disasm_baseline(self, capsys):
+        assert main(["disasm", "mmul", "--template", "mmul_worker"]) == 0
+        out = capsys.readouterr().out
+        assert "READ" in out and ".EX:" in out
+
+    def test_disasm_prefetch_shows_pf_block(self, capsys):
+        assert main(
+            ["disasm", "mmul", "--template", "mmul_worker", "--prefetch"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert ".PF:" in out and "DMAGET" in out and "LLOAD" in out
+
+    def test_disasm_all_templates(self, capsys):
+        assert main(["disasm", "bitcnt"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bitcnt_root", "k_ntbl", "bitcnt_join"):
+            assert name in out
+
+
+class TestReproduce:
+    def test_reproduce_writes_json_and_csv(self, tmp_path, capsys):
+        out = tmp_path / "results.json"
+        csv_path = tmp_path / "results.csv"
+        assert main([
+            "reproduce", "--spes", "1", "2",
+            "-o", str(out), "--csv", str(csv_path),
+        ]) == 0
+        import json
+
+        data = json.loads(out.read_text())
+        assert set(data["experiments"]) == {
+            "scaling", "table5", "fig5", "fig9", "latency1"
+        }
+        text = csv_path.read_text()
+        assert "workload,spes,variant" in text
+        assert "prefetch" in text
+
+    def test_reproduce_stdout_mode(self, capsys):
+        assert main(["reproduce", "--spes", "1"]) == 0
+        out = capsys.readouterr().out
+        import json
+
+        json.loads(out)
+
+
+class TestTimeline:
+    def test_timeline_renders_gantt(self, capsys):
+        assert main(["timeline", "mmul", "--spes", "2", "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "legend" in out
+        assert "busy" in out
+
+    def test_timeline_no_prefetch_has_no_pf_segments(self, capsys):
+        assert main(
+            ["timeline", "mmul", "--spes", "2", "--no-prefetch"]
+        ) == 0
+        out = capsys.readouterr().out
+        bars = [
+            line.split("|")[1]
+            for line in out.splitlines()
+            if line.count("|") >= 2
+        ]
+        assert bars and all("p" not in bar for bar in bars)

@@ -1,0 +1,167 @@
+"""Local Store storage, ports, and the prefetch-buffer allocator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cell.local_store import (
+    AllocationError,
+    LocalStore,
+    LocalStoreFault,
+    LSAllocator,
+)
+from repro.sim.config import LocalStoreConfig
+
+
+def make_ls(**kw) -> LocalStore:
+    return LocalStore(LocalStoreConfig(**kw))
+
+
+class TestStorage:
+    def test_read_write_roundtrip(self):
+        ls = make_ls()
+        ls.write_word(0x100, 42)
+        assert ls.read_word(0x100) == 42
+
+    def test_unwritten_reads_zero(self):
+        assert make_ls().read_word(0) == 0
+
+    def test_unaligned_rejected(self):
+        ls = make_ls()
+        with pytest.raises(LocalStoreFault, match="unaligned"):
+            ls.read_word(2)
+
+    def test_out_of_range_rejected(self):
+        ls = make_ls()
+        with pytest.raises(LocalStoreFault):
+            ls.write_word(ls.config.size, 1)
+        with pytest.raises(LocalStoreFault):
+            ls.read_word(-4)
+
+    def test_block_roundtrip(self):
+        ls = make_ls()
+        ls.write_block(0x40, (1, 2, 3, 4))
+        assert ls.read_block(0x40, 4) == [1, 2, 3, 4]
+
+    def test_block_overflow_rejected(self):
+        ls = make_ls()
+        with pytest.raises(LocalStoreFault, match="overflows"):
+            ls.write_block(ls.config.size - 8, (1, 2, 3, 4))
+
+
+class TestPorts:
+    def test_ports_limit_per_cycle(self):
+        ls = make_ls(ports=3)
+        assert ls.reserve_port(10)
+        assert ls.reserve_port(10)
+        assert ls.reserve_port(10)
+        assert not ls.reserve_port(10)
+        assert ls.reserve_port(11)
+
+    def test_next_free_port_cycle(self):
+        ls = make_ls(ports=1)
+        ls.reserve_port(5)
+        ls.reserve_port(6)
+        assert ls.next_free_port_cycle(5) == 7
+
+    def test_reservation_table_is_pruned(self):
+        ls = make_ls(ports=1)
+        for c in range(5000):
+            ls.reserve_port(c)
+        assert len(ls._ports_used) <= 4096 + 1
+
+
+class TestAllocator:
+    def test_alloc_free_roundtrip(self):
+        a = LSAllocator(base=0x1000, size=0x1000)
+        p = a.alloc(100)
+        assert 0x1000 <= p < 0x2000
+        a.free(p, 100)
+        assert a.free_bytes == 0x1000
+
+    def test_rounds_to_granule(self):
+        a = LSAllocator(base=0, size=256)
+        a.alloc(1)
+        assert a.allocated_bytes == LSAllocator.GRANULE
+
+    def test_exhaustion_raises(self):
+        a = LSAllocator(base=0, size=64)
+        a.alloc(64)
+        with pytest.raises(AllocationError):
+            a.alloc(16)
+
+    def test_allocations_do_not_overlap(self):
+        a = LSAllocator(base=0, size=1024)
+        spans = []
+        for size in (100, 60, 200, 16):
+            p = a.alloc(size)
+            spans.append((p, p + size))
+        spans.sort()
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_free_coalesces(self):
+        a = LSAllocator(base=0, size=256)
+        p1 = a.alloc(64)
+        p2 = a.alloc(64)
+        p3 = a.alloc(64)
+        a.free(p1, 64)
+        a.free(p3, 64)
+        a.free(p2, 64)
+        # After coalescing everything is one extent again.
+        assert a.can_alloc(256)
+
+    def test_double_free_rejected(self):
+        a = LSAllocator(base=0, size=256)
+        p = a.alloc(32)
+        a.free(p, 32)
+        with pytest.raises(ValueError):
+            a.free(p, 32)
+
+    def test_foreign_free_rejected(self):
+        a = LSAllocator(base=0x100, size=256)
+        with pytest.raises(ValueError, match="outside"):
+            a.free(0x500, 16)
+
+    def test_high_watermark(self):
+        a = LSAllocator(base=0, size=256)
+        p = a.alloc(128)
+        a.free(p, 128)
+        a.alloc(32)
+        assert a.high_watermark == 128
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(4, 200)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_allocator_invariants_under_random_workload(self, ops):
+        """Free bytes accounting stays exact; live extents never overlap."""
+        a = LSAllocator(base=0, size=4096)
+        live: list[tuple[int, int]] = []
+        for is_alloc, size in ops:
+            if is_alloc or not live:
+                try:
+                    p = a.alloc(size)
+                except AllocationError:
+                    continue
+                live.append((p, size))
+            else:
+                p, size = live.pop()
+                a.free(p, size)
+            # Invariant: allocated_bytes == sum of rounded live extents.
+            expected = sum(LSAllocator._round(s) for _, s in live)
+            assert a.allocated_bytes == expected
+            # Invariant: live extents are disjoint.
+            spans = sorted((p, p + LSAllocator._round(s)) for p, s in live)
+            for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+                assert e1 <= s2
+        for p, size in live:
+            a.free(p, size)
+        assert a.free_bytes == 4096
+        assert a.can_alloc(4096)

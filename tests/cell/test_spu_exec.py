@@ -1,0 +1,262 @@
+"""SPU execution: golden mini-programs exercising every instruction class.
+
+These run complete thread programs on a 1-SPE machine via
+:func:`repro.testing.run_program` and check both results (values written
+to main memory) and timing-model properties (stall attribution, dual
+issue, blocking READs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.activity import GlobalObject, ObjRef
+from repro.isa.builder import ThreadBuilder
+from repro.isa.program import BlockKind
+from repro.sim.stats import Bucket
+from repro.testing import run_program, small_config
+
+
+def out_obj(words: int = 4):
+    return GlobalObject.zeros("out", words)
+
+
+def writer(name="t"):
+    """Builder with an ``out`` pointer preloaded into ``rout``."""
+    b = ThreadBuilder(name)
+    b.slot("out")
+    return b
+
+
+def finish(b: ThreadBuilder, *values: str):
+    """EX epilogue writing the given registers to out[0..]."""
+    for i, reg in enumerate(values):
+        b.write("rout", 4 * i, reg)
+    b.stop()
+
+
+def run(b: ThreadBuilder, words: int = 4, **kw):
+    return run_program(
+        b,
+        stores={"out": ObjRef("out"), **kw.pop("stores", {})},
+        globals_=[out_obj(words)] + kw.pop("globals_", []),
+        **kw,
+    )
+
+
+class TestAluPrograms:
+    def test_arithmetic_chain(self):
+        b = writer()
+        with b.block(BlockKind.PL):
+            b.load("rout", "out")
+        with b.block(BlockKind.EX):
+            b.li("x", 10)
+            b.muli("x", "x", 7)      # 70
+            b.subi("x", "x", 5)      # 65
+            b.li("y", 3)
+            b.div("z", "x", "y")     # 21
+            b.mod("w", "x", "y")     # 2
+            finish(b, "z", "w")
+        res = run(b)
+        assert res.read_global("out")[:2] == [21, 2]
+
+    def test_logic_and_shifts(self):
+        b = writer()
+        with b.block(BlockKind.PL):
+            b.load("rout", "out")
+        with b.block(BlockKind.EX):
+            b.li("x", 0b1100)
+            b.andi("a", "x", 0b1010)   # 0b1000
+            b.ori("o", "x", 0b0011)    # 0b1111
+            b.xori("e", "x", 0b1111)   # 0b0011
+            b.shli("s", "x", 2)        # 0b110000
+            b.shri("r", "x", 2)        # 0b11
+            finish(b, "a", "o", "e", "s")
+        assert run(b).read_global("out") == [0b1000, 0b1111, 0b0011, 0b110000]
+
+    def test_branch_loop(self):
+        b = writer()
+        n = b.slot("n")
+        with b.block(BlockKind.PL):
+            b.load("rout", "out")
+            b.load("rn", n)
+        with b.block(BlockKind.EX):
+            b.li("acc", 1)
+            b.label("top")
+            b.beqz("rn", "end")
+            b.muli("acc", "acc", 2)
+            b.subi("rn", "rn", 1)
+            b.jmp("top")
+            b.label("end")
+            finish(b, "acc")
+        res = run(b, stores={"n": 10})
+        assert res.word("out") == 1024
+
+    def test_comparisons_drive_branches(self):
+        b = writer()
+        with b.block(BlockKind.PL):
+            b.load("rout", "out")
+        with b.block(BlockKind.EX):
+            b.li("x", 5)
+            b.li("y", 9)
+            b.li("r", 0)
+            b.blt("y", "x", "skip")
+            b.li("r", 1)
+            b.label("skip")
+            b.min_("lo", "x", "y")
+            b.max_("hi", "x", "y")
+            finish(b, "r", "lo", "hi")
+        assert run(b).read_global("out")[:3] == [1, 5, 9]
+
+
+class TestMemoryPrograms:
+    def test_read_write_roundtrip_through_main_memory(self):
+        b = writer()
+        src = b.slot("src")
+        with b.block(BlockKind.PL):
+            b.load("rout", "out")
+            b.load("rsrc", src)
+        with b.block(BlockKind.EX):
+            b.read("v", "rsrc", 0)
+            b.read("w", "rsrc", 4)
+            b.add("v", "v", "w")
+            finish(b, "v")
+        res = run(
+            b,
+            stores={"src": ObjRef("src")},
+            globals_=[GlobalObject("src", (30, 12))],
+        )
+        assert res.word("out") == 42
+
+    def test_read_blocks_pipeline_and_accrues_mem_stall(self):
+        b = writer()
+        src = b.slot("src")
+        with b.block(BlockKind.PL):
+            b.load("rout", "out")
+            b.load("rsrc", src)
+        with b.block(BlockKind.EX):
+            for i in range(8):
+                b.read("v", "rsrc", 4 * i)
+            finish(b, "v")
+        res = run(
+            b,
+            stores={"src": ObjRef("src")},
+            globals_=[GlobalObject("src", tuple(range(8)))],
+            config=small_config(num_spes=1).with_latency(150),
+        )
+        bd = res.result.stats.spus[0].breakdown
+        # 8 blocking READs at latency 150 dominate everything else.
+        assert bd.mem_stall > 8 * 150
+        assert bd.fraction(Bucket.MEM_STALL) > 0.8
+
+    def test_lstore_lload_scratchpad(self):
+        b = writer()
+        with b.block(BlockKind.PL):
+            b.load("rout", "out")
+        with b.block(BlockKind.EX):
+            # Stage values in the prefetch region of the LS directly.
+            b.li("p", 100 * 1024)
+            b.li("v", 77)
+            b.lstore("p", 0, "v")
+            b.lload("w", "p", 0)
+            finish(b, "w")
+        assert run(b).word("out") == 77
+
+    def test_posted_writes_complete_before_results_read(self):
+        b = writer(name="burst")
+        with b.block(BlockKind.PL):
+            b.load("rout", "out")
+        with b.block(BlockKind.EX):
+            for i in range(16):
+                b.li("v", i * i)
+                b.write("rout", 4 * i, "v")
+            b.stop()
+        res = run(b, words=16)
+        assert res.read_global("out") == [i * i for i in range(16)]
+
+
+class TestFrameTraffic:
+    def test_pl_loads_see_spawn_stores(self):
+        b = writer()
+        a, c = b.slot("a"), b.slot("b")
+        with b.block(BlockKind.PL):
+            b.load("rout", "out")
+            b.load("x", a)
+            b.load("y", c)
+        with b.block(BlockKind.EX):
+            b.add("x", "x", "y")
+            finish(b, "x")
+        res = run(b, stores={"a": 1000, "b": 337})
+        assert res.word("out") == 1337
+
+    def test_ls_stalls_attributed_for_dependent_loads(self):
+        b = writer()
+        s = b.slot("s")
+        with b.block(BlockKind.PL):
+            b.load("rout", "out")
+            b.load("x", s)  # 6-cycle LS latency
+        with b.block(BlockKind.EX):
+            b.addi("x", "x", 1)  # immediately dependent -> LS stall
+            finish(b, "x")
+        res = run(b, stores={"s": 1})
+        assert res.result.stats.spus[0].breakdown.ls_stall > 0
+
+
+class TestIssueRules:
+    def test_dual_issue_pairs_mem_and_alu(self):
+        b = writer()
+        with b.block(BlockKind.PL):
+            b.load("rout", "out")
+        with b.block(BlockKind.EX):
+            # Independent ALU/LSTORE pairs that can dual-issue.
+            b.li("p", 100 * 1024)
+            for i in range(10):
+                b.li(f"v{i}", i)
+                b.lstore("p", 4 * i, f"v{i}")
+            b.li("x", 1)
+            finish(b, "x")
+        res = run(b)
+        assert res.result.stats.spus[0].dual_issue_cycles > 0
+
+    def test_instruction_mix_counts_dynamic_executions(self):
+        b = writer()
+        with b.block(BlockKind.PL):
+            b.load("rout", "out")
+        with b.block(BlockKind.EX):
+            b.li("i", 3)
+            b.label("top")
+            b.subi("i", "i", 1)
+            b.bnez("i", "top")
+            b.li("x", 0)
+            finish(b, "x")
+        res = run(b)
+        mix = res.result.stats.mix
+        assert mix.by_opcode["SUBI"] == 3
+        assert mix.by_opcode["BNEZ"] == 3
+
+    def test_breakdown_partitions_total_time(self):
+        b = writer()
+        with b.block(BlockKind.PL):
+            b.load("rout", "out")
+        with b.block(BlockKind.EX):
+            b.li("x", 9)
+            finish(b, "x")
+        res = run(b)
+        bd = res.result.stats.spus[0].breakdown
+        assert bd.total == res.cycles
+
+
+class TestFaults:
+    def test_division_by_zero_surfaces(self):
+        from repro.isa.semantics import ArithmeticFault
+
+        b = writer()
+        with b.block(BlockKind.PL):
+            b.load("rout", "out")
+        with b.block(BlockKind.EX):
+            b.li("x", 1)
+            b.li("z", 0)
+            b.div("x", "x", "z")
+            finish(b, "x")
+        with pytest.raises(ArithmeticFault):
+            run(b)

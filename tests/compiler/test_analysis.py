@@ -1,0 +1,152 @@
+"""Access analysis and the worthwhileness rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.analysis import (
+    AnalysisError,
+    analyze_program,
+    select_regions,
+)
+from repro.isa.builder import ThreadBuilder
+from repro.isa.instructions import GlobalAccess, LinExpr
+from repro.isa.program import BlockKind
+
+
+def program_with_reads(accesses, writes=()):
+    """One READ per access spec, plus optional annotated WRITEs."""
+    b = ThreadBuilder("p")
+    slots = {}
+    for acc in accesses:
+        slots.setdefault(acc.obj, acc.base_slot)
+    # Allocate slots in base_slot order so indices line up.
+    names = {}
+    for obj, slot in sorted(slots.items(), key=lambda kv: kv[1]):
+        while b.frame_words < slot:
+            b.reserve_slots(1)
+        names[obj] = b.pointer_slot(f"{obj}_ptr", obj=obj)
+        assert names[obj] == slot
+    out_slot = b.slot("out")
+    with b.block(BlockKind.PL):
+        for obj in names:
+            b.load(f"r_{obj}", names[obj])
+        b.load("rout", out_slot)
+    with b.block(BlockKind.EX):
+        for i, acc in enumerate(accesses):
+            b.read(f"v{i}", f"r_{acc.obj}", 0, access=acc)
+        for obj in writes:
+            b.li("w", 1)
+            b.write("rout", 0, "w",
+                    access=GlobalAccess(obj=obj, base_slot=out_slot))
+        b.stop()
+    return b.build()
+
+
+def acc(obj="A", slot=0, start=LinExpr.const(0), size=64, uses=16,
+        dynamic=False):
+    return GlobalAccess(
+        obj=obj, base_slot=slot, region_start=start, region_bytes=size,
+        expected_uses=uses, dynamic_index=dynamic,
+    )
+
+
+class TestGrouping:
+    def test_equal_regions_grouped(self):
+        prog = program_with_reads([acc(), acc()])
+        analysis = analyze_program(prog)
+        assert len(analysis.regions) == 1
+        assert len(analysis.regions[0].read_indices) == 2
+        assert analysis.regions[0].expected_uses == 32
+
+    def test_distinct_objects_not_grouped(self):
+        prog = program_with_reads([acc("A", 0), acc("B", 1)])
+        assert len(analyze_program(prog).regions) == 2
+
+    def test_distinct_region_sizes_not_grouped(self):
+        prog = program_with_reads([acc(size=64), acc(size=128)])
+        assert len(analyze_program(prog).regions) == 2
+
+    def test_unannotated_reads_tracked_separately(self):
+        b = ThreadBuilder("p")
+        s = b.slot("p")
+        with b.block(BlockKind.PL):
+            b.load("r", s)
+        with b.block(BlockKind.EX):
+            b.read("v", "r", 0)
+            b.stop()
+        analysis = analyze_program(b.build())
+        assert analysis.regions == []
+        assert len(analysis.unannotated_reads) == 1
+
+    def test_written_objects_recorded(self):
+        prog = program_with_reads([acc()], writes=("C",))
+        assert analyze_program(prog).written_objects == {"C"}
+
+    def test_regions_ordered_by_first_use(self):
+        prog = program_with_reads([acc("B", 1, size=128), acc("A", 0)])
+        regions = analyze_program(prog).regions
+        assert [r.obj for r in regions] == ["B", "A"]
+
+
+class TestValidationErrors:
+    def test_undeclared_pointer_param_rejected(self):
+        b = ThreadBuilder("p")
+        s = b.slot("p")  # NOT a pointer_slot
+        with b.block(BlockKind.PL):
+            b.load("r", s)
+        with b.block(BlockKind.EX):
+            b.read("v", "r", 0,
+                   access=GlobalAccess(obj="A", base_slot=s))
+            b.stop()
+        with pytest.raises(AnalysisError, match="not a declared pointer"):
+            analyze_program(b.build())
+
+    def test_object_mismatch_rejected(self):
+        b = ThreadBuilder("p")
+        s = b.pointer_slot("p", obj="A")
+        with b.block(BlockKind.PL):
+            b.load("r", s)
+        with b.block(BlockKind.EX):
+            b.read("v", "r", 0,
+                   access=GlobalAccess(obj="B", base_slot=s))
+            b.stop()
+        with pytest.raises(AnalysisError, match="claims"):
+            analyze_program(b.build())
+
+
+class TestWorthwhileness:
+    def test_high_utilization_selected(self):
+        prog = program_with_reads([acc(size=64, uses=16)])  # 64/64 = 1.0
+        analysis = analyze_program(prog)
+        assert len(select_regions(analysis, 0.5)) == 1
+
+    def test_low_utilization_skipped(self):
+        # 4 uses of a 1024-byte table: the bitcnt byte-table case.
+        prog = program_with_reads([acc(size=1024, uses=4, dynamic=True)])
+        analysis = analyze_program(prog)
+        assert select_regions(analysis, 0.5) == []
+
+    def test_threshold_zero_selects_everything(self):
+        prog = program_with_reads([acc(size=1024, uses=1, dynamic=True)])
+        analysis = analyze_program(prog)
+        assert len(select_regions(analysis, 0.0)) == 1
+
+    def test_written_object_not_prefetched(self):
+        prog = program_with_reads([acc(obj="A")], writes=("A",))
+        analysis = analyze_program(prog)
+        assert select_regions(analysis, 0.5) == []
+
+    def test_shared_base_slot_selected_once(self):
+        # Two distinct regions off the same pointer parameter: only the
+        # earliest-use one can redirect the slot.
+        prog = program_with_reads(
+            [acc(size=64), acc(size=128, uses=64)]
+        )
+        analysis = analyze_program(prog)
+        assert len(select_regions(analysis, 0.5)) == 1
+
+    def test_utilization_math(self):
+        prog = program_with_reads([acc(size=256, uses=16)])
+        region = analyze_program(prog).regions[0]
+        assert region.utilization == pytest.approx(16 * 4 / 256)

@@ -1,0 +1,123 @@
+"""CDFG utilities: def/use edges, prefetch priority, undefined-use lint."""
+
+from __future__ import annotations
+
+from repro.compiler.cdfg import build_cdfg, prefetch_order, undefined_uses
+from repro.isa.builder import ThreadBuilder
+from repro.isa.program import BlockKind
+
+
+def chain_program():
+    b = ThreadBuilder("chain")
+    s = b.slot("x")
+    with b.block(BlockKind.PL):
+        b.load("a", s)          # 0
+    with b.block(BlockKind.EX):
+        b.addi("b", "a", 1)     # 1: uses a (def in PL, other block)
+        b.addi("c", "b", 1)     # 2: uses b (def at 1)
+        b.add("d", "b", "c")    # 3: uses b, c
+        b.stop()                # 4
+    return b.build()
+
+
+class TestDataEdges:
+    def test_within_block_def_use(self):
+        g = build_cdfg(chain_program())
+        assert g.producers(2) == [1]
+        assert sorted(g.producers(3)) == [1, 2]
+
+    def test_cross_block_uses_have_no_edge(self):
+        # Registers don't survive block boundaries architecturally (the
+        # yield clears them), so the CDFG only tracks within-block edges.
+        g = build_cdfg(chain_program())
+        assert g.producers(1) == []
+
+    def test_consumers_inverse(self):
+        g = build_cdfg(chain_program())
+        assert sorted(g.consumers(1)) == [2, 3]
+
+    def test_control_edges_follow_block_order(self):
+        g = build_cdfg(chain_program())
+        assert g.control_edges == [(BlockKind.PL, BlockKind.EX)]
+
+    def test_last_writer_wins(self):
+        b = ThreadBuilder("rewrite")
+        with b.block(BlockKind.EX):
+            b.li("x", 1)       # 0
+            b.li("x", 2)       # 1
+            b.addi("y", "x", 0)  # 2 -> producer must be 1, not 0
+            b.stop()
+        g = build_cdfg(b.build())
+        assert g.producers(2) == [1]
+
+
+class TestPrefetchOrder:
+    def test_orders_by_first_use(self):
+        class R:
+            def __init__(self, obj, first):
+                self.obj = obj
+                self.read_indices = [first]
+
+            @property
+            def first_use(self):
+                return min(self.read_indices)
+
+        ordered = prefetch_order([R("late", 9), R("early", 2), R("mid", 5)])
+        assert [r.obj for r in ordered] == ["early", "mid", "late"]
+
+
+class TestUndefinedUses:
+    def test_clean_program_has_no_undefined_ex_uses(self):
+        report = undefined_uses(chain_program())
+        assert report[BlockKind.EX] == set()
+
+    def test_detects_read_before_write(self):
+        b = ThreadBuilder("bad")
+        s = b.slot("x")
+        with b.block(BlockKind.PL):
+            b.load("a", s)
+        with b.block(BlockKind.EX):
+            b.addi("out", "never_written", 1)
+            b.stop()
+        report = undefined_uses(b.build())
+        never = b.reg("never_written").index
+        assert never in report[BlockKind.EX]
+
+    def test_pl_definitions_satisfy_ex(self):
+        report = undefined_uses(chain_program())
+        assert report[BlockKind.PL] == set()
+
+    def test_pf_registers_do_not_leak_into_ex(self):
+        """Values computed in PF are dead after the yield; a program
+        consuming them in EX must be flagged."""
+        b = ThreadBuilder("leaky")
+        s = b.slot("x")
+        with b.block(BlockKind.PF):
+            b.lsalloc("buf", 64)
+            b.load("rs", s)
+            b.dmaget("buf", "rs", 64, tag=0)
+        with b.block(BlockKind.PL):
+            b.load("v", s)
+        with b.block(BlockKind.EX):
+            b.lload("w", "buf", 0)  # BUG: buf died at the yield
+            b.stop()
+        report = undefined_uses(b.build())
+        assert b.reg("buf").index in report[BlockKind.EX]
+
+    def test_workload_templates_pass_the_lint(self):
+        from repro.workloads import bitcount, matmul, zoom
+        from repro.compiler.passes import prefetch_transform
+
+        for wl in (matmul.build(n=4, threads=2),
+                   zoom.build(n=4, z=2, threads=2),
+                   bitcount.build(iterations=4, unroll=2)):
+            for act in (wl.activity, prefetch_transform(wl.activity)):
+                for template in act.templates:
+                    report = undefined_uses(template)
+                    bad = {
+                        k: v for k, v in report.items()
+                        if k is not BlockKind.PF and v
+                    }
+                    assert not bad, (
+                        f"{template.name}: registers read before write: {bad}"
+                    )

@@ -1,0 +1,125 @@
+"""Activity linting: all shipped workloads are clean; defects are caught."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.lint import lint_activity, lint_template
+from repro.compiler.passes import PrefetchOptions, prefetch_transform
+from repro.core.activity import GlobalObject, ObjRef, SpawnSpec, TLPActivity
+from repro.isa.builder import ThreadBuilder
+from repro.isa.program import BlockKind
+from repro.workloads import bitcount, colsum, inplace, matmul, zoom
+
+
+ALL_WORKLOADS = [
+    ("mmul", lambda: matmul.build(n=4, threads=2)),
+    ("zoom", lambda: zoom.build(n=4, z=2, threads=2)),
+    ("bitcnt", lambda: bitcount.build(iterations=4, unroll=2)),
+    ("colsum", lambda: colsum.build(n=4, mode="gather")),
+    ("brighten", lambda: inplace.build(n=4, threads=2)),
+]
+
+
+class TestShippedWorkloadsAreClean:
+    @pytest.mark.parametrize("name,build", ALL_WORKLOADS,
+                             ids=[n for n, _ in ALL_WORKLOADS])
+    def test_baseline_activity_lints_clean(self, name, build):
+        assert lint_activity(build().activity) == []
+
+    @pytest.mark.parametrize("name,build", ALL_WORKLOADS,
+                             ids=[n for n, _ in ALL_WORKLOADS])
+    def test_transformed_activity_lints_clean(self, name, build):
+        activity = build().activity
+        transformed = prefetch_transform(
+            activity, PrefetchOptions(allow_writeback=True)
+        )
+        # The pass's own generated code must satisfy the lint too
+        # (PF registers are exempt by design).
+        assert lint_activity(transformed) == []
+
+
+def one_template_activity(builder: ThreadBuilder, stores=None):
+    return TLPActivity(
+        name="lint-test",
+        templates=[builder.build()],
+        globals_=[GlobalObject.zeros("out", 1)],
+        spawns=[SpawnSpec(template=builder.name, stores=stores or {})],
+    )
+
+
+class TestDefectDetection:
+    def test_read_before_write_flagged(self):
+        b = ThreadBuilder("leaky")
+        b.slot("x")
+        with b.block(BlockKind.PL):
+            b.load("v", 0)
+        with b.block(BlockKind.EX):
+            b.add("v", "v", "ghost")  # never defined
+            b.stop()
+        findings = lint_template(b.build())
+        assert any("read in EX" in f for f in findings)
+
+    def test_partially_annotated_reads_flagged(self):
+        from repro.isa.instructions import GlobalAccess
+
+        b = ThreadBuilder("half")
+        p = b.pointer_slot("A", obj="A")
+        acc = GlobalAccess(obj="A", base_slot=p, region_bytes=64,
+                           expected_uses=16)
+        with b.block(BlockKind.PL):
+            b.load("ra", p)
+        with b.block(BlockKind.EX):
+            b.read("v", "ra", 0, access=acc)
+            b.read("w", "ra", 4)  # no annotation
+            b.stop()
+        findings = lint_template(b.build())
+        assert any("lack region annotations" in f for f in findings)
+
+    def test_spawn_store_to_unloaded_slot_flagged(self):
+        b = ThreadBuilder("narrow")
+        b.slot("a")
+        b.slot("b")
+        with b.block(BlockKind.PL):
+            b.load("v", 0)  # only loads slot 0
+        with b.block(BlockKind.EX):
+            b.stop()
+        act = one_template_activity(b, stores={1: 42})
+        findings = lint_activity(act)
+        assert any("never LOADs" in f for f in findings)
+
+    def test_starving_falloc_flagged(self):
+        child = ThreadBuilder("child")
+        child.slot("x")
+        with child.block(BlockKind.PL):
+            child.load("v", 0)
+        with child.block(BlockKind.EX):
+            child.stop()
+        parent = ThreadBuilder("parent")
+        parent.slot("y")
+        with parent.block(BlockKind.PL):
+            parent.load("v", 0)
+        with parent.block(BlockKind.EX):
+            parent.falloc("rc", 1, 0)  # SC 0, but the child loads params
+            parent.stop()
+        act = TLPActivity(
+            name="starver",
+            templates=[parent.build(), child.build()],
+            spawns=[SpawnSpec(template="parent", stores={0: 1})],
+        )
+        findings = lint_activity(act)
+        assert any("SC 0" in f for f in findings)
+
+    def test_register_pressure_flagged(self):
+        from repro.isa.instructions import Instruction, Reg
+        from repro.isa.opcodes import Op
+
+        b = ThreadBuilder("greedy")
+        b.slot("x")
+        with b.block(BlockKind.PL):
+            b.load("v", 0)
+        with b.block(BlockKind.EX):
+            b.emit(Instruction(op=Op.MOV, rd=120, ra=Reg(0)))
+            b.stop()
+        findings = lint_template(b.build())
+        assert any("r120" in f for f in findings)

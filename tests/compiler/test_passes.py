@@ -1,0 +1,195 @@
+"""The prefetch transformation pass: structure of the generated code."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.passes import (
+    PassError,
+    PrefetchOptions,
+    prefetch_transform,
+    transform_program,
+)
+from repro.isa.builder import ThreadBuilder
+from repro.isa.instructions import GlobalAccess, LinExpr
+from repro.isa.opcodes import Op
+from repro.isa.program import BlockKind
+from repro.workloads import matmul
+
+
+def simple_reader(uses=32, size=64, start=LinExpr.const(0)):
+    b = ThreadBuilder("reader")
+    p = b.pointer_slot("A_ptr", obj="A")
+    out = b.slot("out")
+    access = GlobalAccess(
+        obj="A", base_slot=p, region_start=start, region_bytes=size,
+        expected_uses=uses,
+    )
+    with b.block(BlockKind.PL):
+        b.load("ra", p)
+        b.load("rout", out)
+    with b.block(BlockKind.EX):
+        b.read("v", "ra", 0, access=access)
+        b.write("rout", 0, "v")
+        b.stop()
+    return b.build()
+
+
+class TestStructure:
+    def test_pf_block_added(self):
+        out = transform_program(simple_reader())
+        assert out.has_prefetch
+        pf_ops = [i.op for i in out.block(BlockKind.PF)]
+        assert Op.LSALLOC in pf_ops
+        assert Op.DMAGET in pf_ops
+        assert Op.STOREF in pf_ops
+
+    def test_reads_become_lloads(self):
+        out = transform_program(simple_reader())
+        ex_ops = [i.op for i in out.block(BlockKind.EX)]
+        assert Op.READ not in ex_ops
+        assert Op.LLOAD in ex_ops
+
+    def test_pl_pointer_load_redirected(self):
+        src = simple_reader()
+        out = transform_program(src)
+        # The PL load of slot 0 (A_ptr) must now read the translated slot.
+        pl = out.block(BlockKind.PL)
+        assert pl[0].op is Op.LOAD
+        assert pl[0].imm == src.frame_words  # first scratch slot
+
+    def test_frame_words_extended(self):
+        src = simple_reader()
+        out = transform_program(src)
+        assert out.frame_words == src.frame_words + 1
+
+    def test_program_without_reads_unchanged(self):
+        b = ThreadBuilder("pure")
+        s = b.slot("x")
+        with b.block(BlockKind.PL):
+            b.load("v", s)
+        with b.block(BlockKind.EX):
+            b.stop()
+        prog = b.build()
+        assert transform_program(prog) is prog
+
+    def test_unworthwhile_region_left_alone(self):
+        prog = simple_reader(uses=1, size=4096)
+        out = transform_program(prog)
+        assert out is prog
+
+    def test_double_transform_rejected(self):
+        out = transform_program(simple_reader())
+        with pytest.raises(PassError, match="already"):
+            transform_program(out)
+
+    def test_branch_targets_shifted_by_pf_length(self):
+        b = ThreadBuilder("looper")
+        p = b.pointer_slot("A_ptr", obj="A")
+        access = GlobalAccess(obj="A", base_slot=p, region_bytes=64,
+                              expected_uses=16)
+        with b.block(BlockKind.PL):
+            b.load("ra", p)
+        with b.block(BlockKind.EX):
+            b.li("i", 4)
+            b.label("top")
+            b.read("v", "ra", 0, access=access)
+            b.subi("i", "i", 1)
+            b.bnez("i", "top")
+            b.stop()
+        src = b.build()
+        out = transform_program(src)
+        shift = len(out.block(BlockKind.PF))
+        src_branch = next(i for i in src.flat if i.op is Op.BNEZ)
+        out_branch = next(i for i in out.flat if i.op is Op.BNEZ)
+        assert out_branch.target == src_branch.target + shift
+        # The rebuilt program re-validates: targets stay in-block.
+        assert out.block_of(out_branch.target) is BlockKind.EX
+
+    def test_register_clash_detected(self):
+        b = ThreadBuilder("greedy")
+        p = b.pointer_slot("A_ptr", obj="A")
+        access = GlobalAccess(obj="A", base_slot=p, region_bytes=64,
+                              expected_uses=16)
+        with b.block(BlockKind.PL):
+            b.load("ra", p)
+        with b.block(BlockKind.EX):
+            from repro.isa.instructions import Instruction, Reg
+
+            b.read("v", "ra", 0, access=access)
+            b.emit(Instruction(op=Op.MOV, rd=120, ra=Reg(0)))
+            b.stop()
+        with pytest.raises(PassError, match="collides"):
+            transform_program(b.build())
+
+    def test_frame_overflow_detected(self):
+        prog = simple_reader()
+        with pytest.raises(PassError, match="frame words"):
+            transform_program(
+                prog, PrefetchOptions(max_frame_words=prog.frame_words)
+            )
+
+    def test_pointer_never_loaded_in_pl_rejected(self):
+        b = ThreadBuilder("nopload")
+        p = b.pointer_slot("A_ptr", obj="A")
+        other = b.slot("addr")
+        access = GlobalAccess(obj="A", base_slot=p, region_bytes=64,
+                              expected_uses=16)
+        with b.block(BlockKind.PL):
+            b.load("ra", other)  # loads a different slot entirely
+        with b.block(BlockKind.EX):
+            b.read("v", "ra", 0, access=access)
+            b.stop()
+        with pytest.raises(PassError, match="never"):
+            transform_program(b.build())
+
+
+class TestParamDependentRegions:
+    def test_param_start_emits_address_math(self):
+        src = simple_reader(start=LinExpr(param_slot=1, scale=128, offset=0))
+        out = transform_program(src)
+        pf_ops = [i.op for i in out.block(BlockKind.PF)]
+        assert Op.MULI in pf_ops  # scale * param
+        assert Op.SUB in pf_ops   # translated base = buf - start
+
+    def test_constant_offset_uses_subi_style_translation(self):
+        src = simple_reader(start=LinExpr.const(256))
+        out = transform_program(src)
+        pf_ops = [i.op for i in out.block(BlockKind.PF)]
+        assert Op.LI in pf_ops
+
+
+class TestSplitTransactions:
+    def test_one_dma_per_word(self):
+        src = simple_reader(size=64)
+        out = transform_program(
+            src, PrefetchOptions(split_transactions=True)
+        )
+        dmas = [i for i in out.block(BlockKind.PF) if i.op is Op.DMAGET]
+        assert len(dmas) == 16
+        assert all(i.imm == 4 for i in dmas)
+
+
+class TestActivityTransform:
+    def test_transform_preserves_template_ids_and_globals(self):
+        wl = matmul.build(n=4, threads=2)
+        out = prefetch_transform(wl.activity)
+        assert out.template_ids == wl.activity.template_ids
+        assert [g.name for g in out.globals] == [
+            g.name for g in wl.activity.globals
+        ]
+        assert out.has_prefetch
+
+    def test_join_template_untouched(self):
+        wl = matmul.build(n=4, threads=2)
+        out = prefetch_transform(wl.activity)
+        assert not out.template("mmul_join").has_prefetch
+
+    def test_cdfg_priority_orders_dma_commands(self):
+        """mmul's A-band region is consumed before B's column walk starts,
+        so the A DMAGET must be programmed first."""
+        wl = matmul.build(n=4, threads=2)
+        out = prefetch_transform(wl.activity)
+        pf = out.template("mmul_worker").block(BlockKind.PF)
+        comments = [i.comment for i in pf if i.op is Op.DMAGET]
+        assert "A" in comments[0] and "B" in comments[1]

@@ -1,0 +1,123 @@
+"""Write-back prefetching (DMAPUT extension): correctness and structure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.runner import run_pair, run_workload
+from repro.compiler.passes import (
+    PassError,
+    PrefetchOptions,
+    prefetch_transform,
+    transform_program,
+)
+from repro.isa.opcodes import Op
+from repro.isa.program import BlockKind
+from repro.sim.config import paper_config
+from repro.testing import small_config
+from repro.workloads import inplace
+
+WB = PrefetchOptions(allow_writeback=True)
+
+
+class TestStructure:
+    def worker(self):
+        return inplace.build(n=4, threads=2).activity.template(
+            "brighten_worker"
+        )
+
+    def test_without_writeback_program_untouched(self):
+        prog = self.worker()
+        assert transform_program(prog) is prog
+
+    def test_with_writeback_full_pipeline_generated(self):
+        out = transform_program(self.worker(), WB)
+        assert out.has_prefetch
+        pf_ops = [i.op for i in out.block(BlockKind.PF)]
+        assert Op.DMAGET in pf_ops
+        ex_ops = [i.op for i in out.block(BlockKind.EX)]
+        assert Op.READ not in ex_ops and Op.WRITE not in ex_ops
+        assert Op.LLOAD in ex_ops and Op.LSTORE in ex_ops
+        ps_ops = [i.op for i in out.block(BlockKind.PS)]
+        assert Op.DMAPUT in ps_ops and Op.DMAWAIT in ps_ops
+
+    def test_dmaput_precedes_post_stores(self):
+        """The write-back must land before consumers are signalled."""
+        out = transform_program(self.worker(), WB)
+        ps_ops = [i.op for i in out.block(BlockKind.PS)]
+        assert ps_ops.index(Op.DMAWAIT) < ps_ops.index(Op.STORE)
+
+    def test_distinct_tags_for_get_and_put(self):
+        out = transform_program(self.worker(), WB)
+        get_tags = {i.tag for i in out.flat if i.op is Op.DMAGET}
+        put_tags = {i.tag for i in out.flat if i.op is Op.DMAPUT}
+        assert get_tags.isdisjoint(put_tags)
+
+    def test_pl_gains_persistent_loads(self):
+        src = self.worker()
+        out = transform_program(src, WB)
+        assert len(out.block(BlockKind.PL)) > len(src.block(BlockKind.PL))
+
+    def test_writeback_without_ps_block_rejected(self):
+        from repro.isa.builder import ThreadBuilder
+        from repro.isa.instructions import GlobalAccess
+
+        b = ThreadBuilder("nops")
+        p = b.pointer_slot("A_ptr", obj="A")
+        acc = GlobalAccess(obj="A", base_slot=p, region_bytes=64,
+                           expected_uses=32)
+        with b.block(BlockKind.PL):
+            b.load("ra", p)
+        with b.block(BlockKind.EX):
+            b.read("v", "ra", 0, access=acc)
+            b.write("ra", 0, "v", access=acc)
+            b.stop()
+        with pytest.raises(PassError, match="PS block"):
+            transform_program(b.build(), WB)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("spes", [1, 2, 4])
+    def test_inplace_results_match_oracle(self, spes):
+        wl = inplace.build(n=8, threads=4)
+        run_workload(wl, small_config(num_spes=spes), prefetch=True,
+                     options=WB)
+
+    def test_baseline_also_correct(self):
+        wl = inplace.build(n=8, threads=4)
+        run_workload(wl, small_config(num_spes=2), prefetch=False)
+
+    def test_writeback_decouples_everything_and_wins(self):
+        wl = inplace.build(n=16, threads=8)
+        pair = run_pair(wl, paper_config(4), options=WB)
+        assert pair.prefetch.stats.mix.reads == 0
+        assert pair.prefetch.stats.mix.writes == 0
+        assert pair.speedup > 3.0
+
+    def test_without_writeback_option_nothing_changes(self):
+        wl = inplace.build(n=8, threads=4)
+        pair = run_pair(wl, paper_config(2))  # default options
+        assert pair.prefetch.stats.mix.reads == pair.base.stats.mix.reads
+        assert pair.prefetch.cycles == pair.base.cycles
+
+    def test_memory_sees_dma_writes_not_scalar_writes(self):
+        wl = inplace.build(n=8, threads=4)
+        res = run_workload(wl, paper_config(2), prefetch=True, options=WB)
+        assert res.stats.memory.write_requests > 0
+        assert res.stats.mix.writes == 0  # no scalar WRITEs executed
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(2, 6).map(lambda k: 2 * k),  # even n in [4, 12]
+    st.integers(1, 7),
+    st.integers(0, 3),
+)
+def test_writeback_equivalence_property(n, num, shift):
+    """Random brighten parameters: baseline and write-back transformed
+    activities produce bit-identical images."""
+    wl = inplace.build(n=n, threads=2, num=num, shift=shift)
+    run_workload(wl, small_config(num_spes=2), prefetch=False)
+    run_workload(wl, small_config(num_spes=2), prefetch=True, options=WB)

@@ -1,0 +1,26 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import MachineConfig
+from repro.testing import small_config
+
+
+@pytest.fixture
+def cfg1() -> MachineConfig:
+    """A 1-SPE machine configuration."""
+    return small_config(num_spes=1)
+
+
+@pytest.fixture
+def cfg2() -> MachineConfig:
+    """A 2-SPE machine configuration."""
+    return small_config(num_spes=2)
+
+
+@pytest.fixture
+def cfg4() -> MachineConfig:
+    """A 4-SPE machine configuration."""
+    return small_config(num_spes=4)

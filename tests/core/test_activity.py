@@ -1,0 +1,146 @@
+"""TLP activities: layout, template registry, spawn resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.activity import (
+    GLOBAL_ALIGN,
+    GLOBAL_BASE,
+    GlobalObject,
+    ObjRef,
+    SpawnRef,
+    SpawnSpec,
+    TLPActivity,
+)
+from repro.isa.builder import ThreadBuilder
+from repro.isa.program import BlockKind
+
+
+def stub_template(name: str):
+    b = ThreadBuilder(name)
+    with b.block(BlockKind.EX):
+        b.stop()
+    return b.build()
+
+
+def make_activity(**kw):
+    defaults = dict(
+        name="act",
+        templates=[stub_template("a"), stub_template("b")],
+        globals_=[GlobalObject("g1", (1, 2, 3)), GlobalObject("g2", (9,) * 100)],
+        spawns=[SpawnSpec(template="a")],
+    )
+    defaults.update(kw)
+    return TLPActivity(**defaults)
+
+
+class TestTemplates:
+    def test_ids_follow_order(self):
+        act = make_activity()
+        assert act.template_id("a") == 0
+        assert act.template_id("b") == 1
+        assert act.template("a").name == "a"
+        assert act.template(1).name == "b"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            make_activity(templates=[stub_template("a"), stub_template("a")])
+
+    def test_no_templates_rejected(self):
+        with pytest.raises(ValueError):
+            make_activity(templates=[])
+
+    def test_with_templates_preserves_ids(self):
+        act = make_activity()
+        replaced = act.with_templates(
+            [stub_template("a"), stub_template("b")]
+        )
+        assert replaced.template_ids == act.template_ids
+
+    def test_with_templates_rejects_reorder(self):
+        act = make_activity()
+        with pytest.raises(ValueError):
+            act.with_templates([stub_template("b"), stub_template("a")])
+
+
+class TestLayout:
+    def test_objects_start_at_global_base(self):
+        act = make_activity()
+        assert act.global_obj("g1").addr == GLOBAL_BASE
+
+    def test_objects_are_aligned_and_disjoint(self):
+        act = make_activity()
+        g1, g2 = act.global_obj("g1"), act.global_obj("g2")
+        assert g1.addr % GLOBAL_ALIGN == 0
+        assert g2.addr % GLOBAL_ALIGN == 0
+        assert g2.addr >= g1.addr + g1.size_bytes
+
+    def test_duplicate_global_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            make_activity(
+                globals_=[GlobalObject("g", (1,)), GlobalObject("g", (2,))]
+            )
+
+    def test_unknown_global_lookup(self):
+        with pytest.raises(KeyError):
+            make_activity().global_obj("nope")
+
+    def test_zeros_helper(self):
+        z = GlobalObject.zeros("z", 5)
+        assert z.data == (0,) * 5
+
+    def test_empty_object_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalObject("e", ())
+
+
+class TestResolve:
+    def test_objref_resolves_to_address(self):
+        act = make_activity()
+        assert act.resolve(ObjRef("g1")) == act.global_obj("g1").addr
+        assert act.resolve(ObjRef("g1", offset=8)) == act.global_obj("g1").addr + 8
+
+    def test_int_passes_through(self):
+        assert make_activity().resolve(42) == 42
+
+    def test_spawnref_needs_handles(self):
+        with pytest.raises(ValueError, match="spawn time"):
+            make_activity().resolve(SpawnRef(0))
+
+    def test_spawnref_resolves_from_handles(self):
+        act = make_activity()
+        assert act.resolve(SpawnRef(0), spawned_handles=[0xAB]) == 0xAB
+
+    def test_spawnref_future_spawn_rejected(self):
+        act = make_activity()
+        with pytest.raises(ValueError, match="not happened"):
+            act.resolve(SpawnRef(1), spawned_handles=[0xAB])
+
+    def test_negative_spawnref_rejected(self):
+        with pytest.raises(ValueError):
+            SpawnRef(-1)
+
+
+class TestValidation:
+    def test_unknown_spawn_template_rejected(self):
+        act = make_activity(spawns=[SpawnSpec(template="zzz")])
+        with pytest.raises(ValueError, match="unknown"):
+            act.validate()
+
+    def test_forward_spawnref_rejected(self):
+        act = make_activity(
+            spawns=[
+                SpawnSpec(template="a", stores={0: SpawnRef(1)}),
+                SpawnSpec(template="b"),
+            ]
+        )
+        with pytest.raises(ValueError, match="not earlier"):
+            act.validate()
+
+    def test_sc_counts_stores_plus_extra(self):
+        spec = SpawnSpec(template="a", stores={0: 1, 1: 2}, extra_sc=3)
+        assert spec.sc == 5
+
+    def test_has_prefetch_false_for_plain_templates(self):
+        assert not make_activity().has_prefetch

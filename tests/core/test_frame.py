@@ -1,0 +1,81 @@
+"""Frame handles and frame bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.frame import (
+    Frame,
+    handle_addr,
+    handle_pe,
+    pack_handle,
+    unpack_handle,
+)
+
+
+class TestHandles:
+    @given(st.integers(0, 255), st.integers(0, (1 << 18) - 1).map(lambda x: x * 4))
+    def test_pack_unpack_roundtrip(self, pe, addr):
+        assert unpack_handle(pack_handle(pe, addr)) == (pe, addr)
+
+    def test_accessors(self):
+        h = pack_handle(3, 0x100)
+        assert handle_pe(h) == 3
+        assert handle_addr(h) == 0x100
+
+    def test_unaligned_address_rejected(self):
+        with pytest.raises(ValueError, match="aligned"):
+            pack_handle(0, 6)
+
+    def test_oversized_address_rejected(self):
+        with pytest.raises(ValueError):
+            pack_handle(0, 1 << 20)
+
+    def test_negative_pe_rejected(self):
+        with pytest.raises(ValueError):
+            pack_handle(-1, 0)
+
+    def test_negative_handle_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_handle(-5)
+
+    @given(
+        st.tuples(st.integers(0, 63), st.integers(0, 1023).map(lambda x: x * 4)),
+        st.tuples(st.integers(0, 63), st.integers(0, 1023).map(lambda x: x * 4)),
+    )
+    def test_packing_is_injective(self, a, b):
+        if a != b:
+            assert pack_handle(*a) != pack_handle(*b)
+
+
+class TestFrame:
+    def test_assign_release_cycle(self):
+        f = Frame(addr=0x80, size_words=32)
+        assert f.free
+        f.assign(7)
+        assert not f.free and f.owner_tid == 7
+        f.release()
+        assert f.free
+
+    def test_double_assign_rejected(self):
+        f = Frame(addr=0, size_words=32)
+        f.assign(1)
+        with pytest.raises(RuntimeError, match="already owned"):
+            f.assign(2)
+
+    def test_double_release_rejected(self):
+        f = Frame(addr=0, size_words=32)
+        f.assign(1)
+        f.release()
+        with pytest.raises(RuntimeError, match="already free"):
+            f.release()
+
+    def test_release_clears_write_count(self):
+        f = Frame(addr=0, size_words=32)
+        f.assign(1)
+        f.writes = 5
+        f.release()
+        f.assign(2)
+        assert f.writes == 0

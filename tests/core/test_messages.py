@@ -1,0 +1,73 @@
+"""Message protocol: wire sizes and immutability."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.messages import (
+    AllocFrame,
+    DmaGatherRequest,
+    DmaReadRequest,
+    DmaReadResponse,
+    DmaWriteRequest,
+    FallocRequest,
+    FallocResponse,
+    FFreeMsg,
+    FrameFreed,
+    ReadRequest,
+    ReadResponse,
+    StoreMsg,
+    WriteAck,
+    WriteRequest,
+)
+
+
+class TestWireSizes:
+    @pytest.mark.parametrize(
+        "msg,size",
+        [
+            (FallocRequest(request_id=1, requester_spe=0, template_id=0,
+                           sc=1), 16),
+            (AllocFrame(request_id=1, requester_spe=0, template_id=0,
+                        sc=1), 16),
+            (FallocResponse(request_id=1, handle=0, tid=0), 16),
+            (StoreMsg(handle=0, slot=0, value=0), 16),
+            (FFreeMsg(handle=0), 8),
+            (FrameFreed(spe_id=0), 8),
+            (ReadRequest(addr=0, reply_key=0, requester_spe=0), 8),
+            (ReadResponse(reply_key=0, value=0), 8),
+            (WriteRequest(addr=0, value=0, requester_spe=0), 12),
+            (WriteAck(requester_spe=0), 8),
+            (DmaReadRequest(addr=0, size=64, command_id=0, chunk_index=0,
+                            requester_spe=0), 8),
+            (DmaGatherRequest(addr=0, count=8, stride=32, command_id=0,
+                              chunk_index=0, requester_spe=0), 16),
+        ],
+    )
+    def test_control_message_sizes(self, msg, size):
+        assert msg.size_bytes == size
+
+    def test_dma_response_size_scales_with_payload(self):
+        small = DmaReadResponse(command_id=0, chunk_index=0, ls_addr=0,
+                                words=(1, 2))
+        big = DmaReadResponse(command_id=0, chunk_index=0, ls_addr=0,
+                              words=tuple(range(32)))
+        assert small.size_bytes == 8
+        assert big.size_bytes == 128
+
+    def test_dma_write_size_includes_header(self):
+        msg = DmaWriteRequest(addr=0, words=(1, 2, 3), command_id=0,
+                              chunk_index=0, requester_spe=0)
+        assert msg.size_bytes == 8 + 12
+
+
+class TestImmutability:
+    def test_messages_are_frozen(self):
+        msg = StoreMsg(handle=1, slot=2, value=3)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            msg.value = 9  # type: ignore[misc]
+
+    def test_messages_are_hashable(self):
+        assert hash(FrameFreed(spe_id=1)) != hash(FrameFreed(spe_id=2))

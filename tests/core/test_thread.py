@@ -1,0 +1,126 @@
+"""Thread lifecycle: SC counting and the Figure 4 state machine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.thread import LifecycleError, ThreadInstance, ThreadState
+from repro.isa.builder import ThreadBuilder
+from repro.isa.program import BlockKind
+
+
+def make_program(prefetch: bool = False):
+    b = ThreadBuilder("t")
+    s = b.slot("x")
+    if prefetch:
+        with b.block(BlockKind.PF):
+            b.lsalloc("buf", 64)
+            b.load("rb", s)
+            b.dmaget("buf", "rb", 64, tag=0)
+    with b.block(BlockKind.PL):
+        b.load("v", s)
+    with b.block(BlockKind.EX):
+        b.stop()
+    return b.build()
+
+
+def make_thread(sc: int = 2, prefetch: bool = False) -> ThreadInstance:
+    return ThreadInstance(
+        tid=1,
+        template_id=0,
+        program=make_program(prefetch),
+        spe_id=0,
+        frame_addr=0x100,
+        handle=0x100,
+        sc=sc,
+    )
+
+
+class TestSynchronizationCounter:
+    def test_counts_down_to_ready(self):
+        t = make_thread(sc=2)
+        assert not t.count_store()
+        assert t.count_store()
+        assert t.sc == 0
+
+    def test_excess_store_rejected(self):
+        t = make_thread(sc=1)
+        t.count_store()
+        with pytest.raises(LifecycleError, match="more stores"):
+            t.count_store()
+
+    def test_store_to_running_thread_rejected(self):
+        t = make_thread(sc=1)
+        t.count_store()
+        t.transition(ThreadState.READY)
+        t.transition(ThreadState.EXECUTING)
+        with pytest.raises(LifecycleError):
+            t.count_store()
+
+    def test_negative_sc_rejected(self):
+        with pytest.raises(ValueError):
+            make_thread(sc=-1)
+
+    @given(st.integers(1, 64))
+    def test_ready_exactly_at_zero(self, sc):
+        t = make_thread(sc=sc)
+        for i in range(sc):
+            became_ready = t.count_store()
+            assert became_ready == (i == sc - 1)
+
+
+class TestStateMachine:
+    def test_figure4_path_with_prefetch(self):
+        t = make_thread(sc=1, prefetch=True)
+        t.count_store()
+        t.transition(ThreadState.READY)
+        t.transition(ThreadState.PROGRAM_DMA)
+        t.transition(ThreadState.WAIT_DMA)
+        t.transition(ThreadState.READY)
+        t.transition(ThreadState.EXECUTING)
+        t.transition(ThreadState.DONE)
+        assert t.done
+
+    def test_original_dta_path(self):
+        t = make_thread(sc=1)
+        t.count_store()
+        t.transition(ThreadState.READY)
+        t.transition(ThreadState.EXECUTING)
+        t.transition(ThreadState.DONE)
+
+    def test_pf_with_completed_dma_skips_wait(self):
+        # "Program DMA" may go straight to execution if nothing is pending.
+        t = make_thread(sc=0, prefetch=True)
+        t.state = ThreadState.READY
+        t.transition(ThreadState.PROGRAM_DMA)
+        t.transition(ThreadState.EXECUTING)
+
+    @pytest.mark.parametrize(
+        "src,dst",
+        [
+            (ThreadState.WAIT_STORES, ThreadState.EXECUTING),
+            (ThreadState.READY, ThreadState.DONE),
+            (ThreadState.EXECUTING, ThreadState.READY),
+            (ThreadState.DONE, ThreadState.READY),
+            (ThreadState.WAIT_DMA, ThreadState.EXECUTING),
+        ],
+    )
+    def test_illegal_transitions_rejected(self, src, dst):
+        t = make_thread()
+        t.state = src
+        with pytest.raises(LifecycleError):
+            t.transition(dst)
+
+    def test_runnable_property(self):
+        t = make_thread(sc=0)
+        t.state = ThreadState.READY
+        assert t.runnable
+        t.transition(ThreadState.EXECUTING)
+        assert not t.runnable
+
+    def test_describe_mentions_key_facts(self):
+        t = make_thread()
+        text = t.describe()
+        assert "tid=1" in text and "wait-stores" in text

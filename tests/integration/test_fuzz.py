@@ -1,0 +1,91 @@
+"""Differential fuzzing: random programs through every execution path.
+
+For each random activity the final main memory must agree between
+
+* the cycle simulator and the functional golden model,
+* the baseline and its prefetch-transformed version,
+* machines of different widths, latencies and cache configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cell.machine import Machine
+from repro.compiler.passes import PrefetchOptions, prefetch_transform
+from repro.isa.fuzz import FuzzSpec, random_activity
+from repro.isa.interpreter import run_functional
+from repro.sim.config import cached_config
+from repro.testing import small_config
+
+
+def memory_of(activity, config) -> dict[str, list[int]]:
+    m = Machine(config)
+    m.load(activity)
+    m.run(max_cycles=20_000_000)
+    return {obj.name: m.read_global(obj.name) for obj in activity.globals}
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        a = random_activity(7)
+        b = random_activity(7)
+        assert [t.disassemble() for t in a.templates] == [
+            t.disassemble() for t in b.templates
+        ]
+
+    def test_distinct_seeds_differ(self):
+        a = random_activity(1)
+        b = random_activity(2)
+        assert [t.disassemble() for t in a.templates] != [
+            t.disassemble() for t in b.templates
+        ]
+
+    def test_generated_activities_validate(self):
+        for seed in range(20):
+            random_activity(seed).validate()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_fuzz_simulator_matches_golden_model(seed):
+    activity = random_activity(seed)
+    golden = run_functional(activity)
+    sim = memory_of(activity, small_config(num_spes=2))
+    for obj in activity.globals:
+        assert sim[obj.name] == golden.read_global(obj.name), (
+            f"seed {seed}: {obj.name} diverged"
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), threshold=st.sampled_from([0.0, 0.5]))
+def test_fuzz_prefetch_transform_preserves_semantics(seed, threshold):
+    activity = random_activity(seed)
+    transformed = prefetch_transform(
+        activity, PrefetchOptions(worthwhile_threshold=threshold)
+    )
+    cfg = small_config(num_spes=2)
+    assert memory_of(activity, cfg) == memory_of(transformed, cfg), (
+        f"seed {seed}: the prefetch pass changed results"
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    spes=st.sampled_from([1, 3, 4]),
+    latency=st.sampled_from([1, 40, 150]),
+    cached=st.booleans(),
+)
+def test_fuzz_machine_shape_never_changes_results(seed, spes, latency, cached):
+    activity = random_activity(seed)
+    reference = memory_of(activity, small_config(num_spes=2))
+    cfg = (
+        cached_config(spes) if cached else small_config(num_spes=spes)
+    ).with_latency(latency)
+    assert memory_of(activity, cfg) == reference, (
+        f"seed {seed}: results depend on the machine shape"
+    )

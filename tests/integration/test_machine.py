@@ -1,0 +1,126 @@
+"""Machine assembly, PPE spawning, run control, result extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cell.machine import Machine, run_activity
+from repro.core.activity import GlobalObject, ObjRef, SpawnSpec, TLPActivity
+from repro.isa.builder import ThreadBuilder
+from repro.isa.program import BlockKind
+from repro.sim.engine import SimulationLimitExceeded
+from repro.testing import small_config
+from repro.workloads import matmul
+
+
+def tiny_activity():
+    b = ThreadBuilder("w")
+    out = b.slot("out")
+    val = b.slot("val")
+    with b.block(BlockKind.PL):
+        b.load("rout", out)
+        b.load("v", val)
+    with b.block(BlockKind.EX):
+        b.muli("v", "v", 2)
+        b.write("rout", 0, "v")
+        b.stop()
+    return TLPActivity(
+        name="tiny",
+        templates=[b.build()],
+        globals_=[GlobalObject.zeros("out", 1)],
+        spawns=[SpawnSpec(template="w", stores={0: ObjRef("out"), 1: 21})],
+    )
+
+
+class TestLoadRun:
+    def test_run_produces_result(self):
+        m = Machine(small_config())
+        m.load(tiny_activity())
+        res = m.run()
+        assert res.cycles > 0
+        assert m.read_global("out") == [42]
+        assert res.activity == "tiny"
+        assert not res.prefetch
+
+    def test_double_load_rejected(self):
+        m = Machine(small_config())
+        m.load(tiny_activity())
+        with pytest.raises(RuntimeError, match="already"):
+            m.load(tiny_activity())
+
+    def test_run_without_load_rejected(self):
+        with pytest.raises(RuntimeError, match="no activity"):
+            Machine(small_config()).run()
+
+    def test_read_global_without_load_rejected(self):
+        with pytest.raises(RuntimeError):
+            Machine(small_config()).read_global("x")
+
+    def test_max_cycles_enforced(self):
+        m = Machine(small_config())
+        m.load(tiny_activity())
+        with pytest.raises(SimulationLimitExceeded):
+            m.run(max_cycles=3)
+
+    def test_run_activity_helper(self):
+        res = run_activity(tiny_activity(), small_config())
+        assert res.cycles > 0
+
+    def test_globals_loaded_into_memory(self):
+        act = TLPActivity(
+            name="g",
+            templates=tiny_activity().templates,
+            globals_=[GlobalObject("out", (9, 8, 7))],
+            spawns=[SpawnSpec(template="w", stores={0: ObjRef("out"), 1: 1})],
+        )
+        m = Machine(small_config())
+        m.load(act)
+        obj = act.global_obj("out")
+        assert m.memory.read_block(obj.addr, 3) == [9, 8, 7]
+
+
+class TestPPE:
+    def test_ppe_spawns_in_order(self):
+        wl = matmul.build(n=4, threads=4)
+        m = Machine(small_config(num_spes=2))
+        m.load(wl.activity)
+        m.run()
+        # join + 4 workers
+        assert len(m.ppe.spawned_handles) == 5
+        assert m.ppe.done
+
+    def test_spawnref_receives_real_handle(self):
+        wl = matmul.build(n=4, threads=2)
+        m = Machine(small_config(num_spes=2))
+        m.load(wl.activity)
+        m.run()
+        wl.verify(m)  # workers stored into the join handle successfully
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_cycles(self):
+        wl = matmul.build(n=4, threads=2)
+        r1 = run_activity(wl.activity, small_config(num_spes=2))
+        r2 = run_activity(wl.activity, small_config(num_spes=2))
+        assert r1.cycles == r2.cycles
+        assert r1.stats.mix.by_opcode == r2.stats.mix.by_opcode
+
+    def test_breakdowns_partition_time_on_every_spu(self):
+        wl = matmul.build(n=4, threads=4)
+        res = run_activity(wl.activity, small_config(num_spes=4))
+        for spu in res.stats.spus:
+            assert spu.breakdown.total == res.cycles
+
+
+class TestStatsCollection:
+    def test_scheduler_stats_aggregate(self):
+        wl = matmul.build(n=4, threads=4)
+        res = run_activity(wl.activity, small_config(num_spes=2))
+        # 5 spawned threads -> 5 frames freed eventually.
+        assert res.stats.scheduler.ffrees == 5
+
+    def test_bus_carried_traffic(self):
+        wl = matmul.build(n=4, threads=2)
+        res = run_activity(wl.activity, small_config(num_spes=2))
+        assert res.stats.bus.transfers > 0
+        assert res.stats.memory.read_requests == res.stats.mix.reads

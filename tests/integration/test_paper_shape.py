@@ -1,0 +1,62 @@
+"""The paper's headline claims, asserted at test scale.
+
+The benchmark harness (benchmarks/) regenerates every table and figure;
+this module keeps a distilled version of the same shape claims inside
+the plain test suite, so `pytest tests/` alone certifies the story:
+
+1. without prefetching, the memory-bound benchmarks drown in memory
+   stalls (Fig. 5a);
+2. the transformation eliminates them and yields order-of-magnitude
+   speedups for mmul/zoom and a modest one for bitcnt (Figs. 6-8);
+3. pipeline usage rises accordingly (Fig. 9);
+4. at 1-cycle latency the benefit collapses (Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_pair
+from repro.sim.config import latency1_config, paper_config
+from repro.sim.stats import Bucket
+from repro.workloads import bitcount, matmul, zoom
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    return {
+        "bitcnt": run_pair(bitcount.build(iterations=24), paper_config(4)),
+        "mmul": run_pair(matmul.build(n=8, threads=8), paper_config(4)),
+        "zoom": run_pair(zoom.build(n=8, z=4, threads=8), paper_config(4)),
+    }
+
+
+class TestHeadlineClaims:
+    def test_memory_stalls_dominate_without_prefetching(self, pairs):
+        for name in ("mmul", "zoom"):
+            frac = pairs[name].base.stats.bucket_fractions()
+            assert frac[Bucket.MEM_STALL] > 0.85, name
+
+    def test_prefetching_eliminates_memory_stalls(self, pairs):
+        for name in ("mmul", "zoom"):
+            frac = pairs[name].prefetch.stats.bucket_fractions()
+            assert frac[Bucket.MEM_STALL] < 0.02, name
+
+    def test_order_of_magnitude_speedups(self, pairs):
+        assert pairs["mmul"].speedup > 5
+        assert pairs["zoom"].speedup > 5
+        assert 1.0 < pairs["bitcnt"].speedup < 4.0
+
+    def test_bitcnt_partial_decoupling(self, pairs):
+        assert pairs["bitcnt"].decoupled_fraction == pytest.approx(8 / 12)
+
+    def test_pipeline_usage_rises(self, pairs):
+        for name, pair in pairs.items():
+            assert (
+                pair.prefetch.stats.average_pipeline_usage
+                > pair.base.stats.average_pipeline_usage
+            ), name
+
+    def test_latency1_collapses_the_benefit(self, pairs):
+        lat1 = run_pair(matmul.build(n=8, threads=8), latency1_config(4))
+        assert lat1.speedup < pairs["mmul"].speedup / 3

@@ -1,0 +1,43 @@
+"""Per-template cycle attribution."""
+
+from __future__ import annotations
+
+from repro.bench.runner import run_workload
+from repro.sim.config import paper_config
+from repro.testing import small_config
+from repro.workloads import bitcount, matmul
+
+
+class TestTemplateCycles:
+    def test_workers_dominate_mmul(self):
+        res = run_workload(
+            matmul.build(n=8, threads=4), small_config(num_spes=2),
+            prefetch=False,
+        )
+        tc = res.stats.template_cycles
+        assert tc["mmul_worker"] > 50 * tc["mmul_join"]
+
+    def test_attribution_covers_non_idle_time(self):
+        res = run_workload(
+            matmul.build(n=8, threads=4), small_config(num_spes=2),
+            prefetch=False,
+        )
+        attributed = sum(res.stats.template_cycles.values())
+        non_idle = sum(
+            s.breakdown.total - s.breakdown.idle for s in res.stats.spus
+        )
+        # Idle is unattributable; everything else should be (within the
+        # small dispatch-boundary slack).
+        assert attributed <= non_idle
+        assert attributed > 0.9 * non_idle
+
+    def test_bitcnt_kernels_visible(self):
+        res = run_workload(
+            bitcount.build(iterations=8, unroll=4), paper_config(2),
+            prefetch=False,
+        )
+        tc = res.stats.template_cycles
+        for name in ("bitcnt_iter", "bitcnt_comb", "k_btbl", "k_ntbl"):
+            assert tc[name] > 0, name
+        # The table-lookup kernels (blocking READs) dominate the ALU ones.
+        assert tc["k_btbl"] > tc["k_bitcount"]

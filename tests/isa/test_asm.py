@@ -1,0 +1,162 @@
+"""Assembly text format: parsing, errors, disassembly round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.passes import PrefetchOptions, prefetch_transform
+from repro.isa.asm import AsmError, parse_program
+from repro.isa.opcodes import Op
+from repro.isa.program import BlockKind, ProgramError
+
+
+SIMPLE = """
+; thread template 'sum2'
+.PL:
+   0  LOAD r0, #0
+   1  LOAD r1, #1
+.EX:
+   2  ADD r0, r0, r1
+   3  STOP
+"""
+
+
+class TestParsing:
+    def test_simple_program(self):
+        prog = parse_program(SIMPLE)
+        assert prog.name == "sum2"
+        assert [i.op for i in prog.flat] == [Op.LOAD, Op.LOAD, Op.ADD, Op.STOP]
+        assert prog.frame_words == 2  # inferred from LOAD slots
+
+    def test_name_override(self):
+        assert parse_program(SIMPLE, name="other").name == "other"
+
+    def test_indices_are_optional(self):
+        prog = parse_program(".EX:\nLI r0, #5\nSTOP\n")
+        assert prog.flat[0].imm == 5
+
+    def test_comments_preserved(self):
+        prog = parse_program(".EX:\nLI r0, #5 ; the answer\nSTOP\n")
+        assert prog.flat[0].comment == "the answer"
+
+    def test_immediate_sources(self):
+        prog = parse_program(".EX:\nMOV r1, #7\nSTOP\n")
+        from repro.isa.instructions import Imm
+
+        assert prog.flat[0].ra == Imm(7)
+
+    def test_branch_targets(self):
+        text = """
+        .EX:
+           0  LI r0, #3
+           1  SUBI r0, r0, #1
+           2  BNEZ r0, @1
+           3  STOP
+        """
+        prog = parse_program(text)
+        assert prog.flat[2].target == 1
+
+    def test_dma_operands(self):
+        text = """
+        .PF:
+           0  LSALLOC r1, #64
+           1  LOAD r2, #0
+           2  DMAGET r1, r2, #64, t3
+           3  DMAGETS r1, r2, #8, t4, +32
+        .EX:
+           4  STOP
+        """
+        prog = parse_program(text)
+        get = prog.flat[2]
+        assert get.tag == 3 and get.imm == 64
+        gets = prog.flat[3]
+        assert gets.op is Op.DMAGETS and gets.stride == 32 and gets.tag == 4
+
+    def test_frame_and_ptr_directives(self):
+        text = """
+        frame 8
+        ptr 0 A
+        .PL:
+           0  LOAD r0, #0
+        .EX:
+           1  STOP
+        """
+        prog = parse_program(text)
+        assert prog.frame_words == 8
+        assert prog.pointer_params[0].obj == "A"
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(AsmError, match="unknown opcode"):
+            parse_program(".EX:\nFLY r0, r1\nSTOP\n")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AsmError, match="expects"):
+            parse_program(".EX:\nADD r0, r1\nSTOP\n")
+
+    def test_bad_operand_kind(self):
+        with pytest.raises(AsmError, match="destination"):
+            parse_program(".EX:\nLI #0, #1\nSTOP\n")
+
+    def test_instruction_outside_block(self):
+        with pytest.raises(AsmError, match="before any block"):
+            parse_program("LI r0, #1\n")
+
+    def test_duplicate_block(self):
+        with pytest.raises(AsmError, match="duplicate block"):
+            parse_program(".EX:\n.EX:\nSTOP\n")
+
+    def test_empty_text(self):
+        with pytest.raises(AsmError, match="no code blocks"):
+            parse_program("; nothing here\n")
+
+    def test_program_validation_still_applies(self):
+        # Parsed programs go through the same block-discipline checks.
+        with pytest.raises(ProgramError, match="STOP"):
+            parse_program(".EX:\nNOP\n")
+
+
+def all_templates():
+    """Every template of every workload, baseline and transformed."""
+    from repro.workloads import bitcount, colsum, inplace, matmul, zoom
+
+    activities = [
+        matmul.build(n=4, threads=2).activity,
+        zoom.build(n=4, z=2, threads=2).activity,
+        bitcount.build(iterations=4, unroll=2).activity,
+        colsum.build(n=4, mode="gather").activity,
+        inplace.build(n=4, threads=2).activity,
+    ]
+    out = []
+    for act in activities:
+        out.extend(act.templates)
+        try:
+            transformed = prefetch_transform(
+                act, PrefetchOptions(allow_writeback=True)
+            )
+        except Exception:
+            transformed = prefetch_transform(act)
+        out.extend(transformed.templates)
+    return out
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "template", all_templates(), ids=lambda t: t.name
+    )
+    def test_disassemble_parse_roundtrip(self, template):
+        """parse(disassemble(p)) reproduces p's instructions exactly
+        (modulo access annotations, which have no text form)."""
+        text = template.disassemble()
+        back = parse_program(
+            text + f"\nframe {template.frame_words}\n"
+        )
+        assert back.name == template.name
+        assert len(back.flat) == len(template.flat)
+        for a, b in zip(template.flat, back.flat):
+            assert a.op is b.op
+            assert a.rd == b.rd and a.ra == b.ra and a.rb == b.rb
+            assert a.imm == b.imm and a.target == b.target
+            assert a.tag == b.tag and a.stride == b.stride
+        assert back.block_ranges == template.block_ranges

@@ -1,0 +1,208 @@
+"""Assembler DSL: registers, slots, labels, loops, block handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.builder import BuilderError, ThreadBuilder
+from repro.isa.opcodes import Op
+from repro.isa.program import BlockKind, ProgramError
+
+
+def minimal(name="t"):
+    b = ThreadBuilder(name)
+    return b
+
+
+class TestRegisters:
+    def test_symbolic_registers_are_stable(self):
+        b = minimal()
+        assert b.reg("x") == b.reg("x")
+        assert b.reg("x") != b.reg("y")
+
+    def test_register_exhaustion(self):
+        b = ThreadBuilder("t", num_registers=2)
+        b.reg("a")
+        b.reg("b")
+        with pytest.raises(BuilderError, match="out of registers"):
+            b.reg("c")
+
+
+class TestSlots:
+    def test_slots_allocate_in_order(self):
+        b = minimal()
+        assert b.slot("a") == 0
+        assert b.slot("b") == 1
+        assert b.slot("a") == 0  # idempotent
+
+    def test_pointer_slot_records_param(self):
+        b = minimal()
+        b.pointer_slot("A_ptr", obj="A")
+        with b.block(BlockKind.PL):
+            b.load("ra", "A_ptr")
+        with b.block(BlockKind.EX):
+            b.stop()
+        prog = b.build()
+        assert len(prog.pointer_params) == 1
+        assert prog.pointer_params[0].obj == "A"
+
+    def test_pointer_slot_conflicting_object_rejected(self):
+        b = minimal()
+        b.pointer_slot("p", obj="A")
+        with pytest.raises(BuilderError):
+            b.pointer_slot("p", obj="B")
+
+    def test_reserve_slots(self):
+        b = minimal()
+        b.slot("a")
+        first = b.reserve_slots(3)
+        assert first == 1
+        assert b.frame_words == 4
+
+
+class TestBlocks:
+    def test_instructions_need_a_block(self):
+        b = minimal()
+        with pytest.raises(BuilderError, match="outside of a block"):
+            b.nop()
+
+    def test_blocks_cannot_nest(self):
+        b = minimal()
+        with b.block(BlockKind.EX):
+            with pytest.raises(BuilderError, match="nest"):
+                with b.block(BlockKind.PL):
+                    pass
+
+    def test_block_contents_land_in_right_block(self):
+        b = minimal()
+        s = b.slot("x")
+        with b.block(BlockKind.PL):
+            b.load("v", s)
+        with b.block(BlockKind.EX):
+            b.addi("v", "v", 1)
+            b.stop()
+        prog = b.build()
+        assert [i.op for i in prog.block(BlockKind.PL)] == [Op.LOAD]
+        assert [i.op for i in prog.block(BlockKind.EX)] == [Op.ADDI, Op.STOP]
+
+
+class TestLabels:
+    def test_branch_resolves_to_flat_index(self):
+        b = minimal()
+        with b.block(BlockKind.EX):
+            b.li("x", 3)
+            top = b.label("top")
+            b.subi("x", "x", 1)
+            b.bnez("x", top)
+            b.stop()
+        prog = b.build()
+        branch = prog.flat[2]
+        assert branch.op is Op.BNEZ and branch.target == 1
+
+    def test_undefined_label_rejected(self):
+        b = minimal()
+        with b.block(BlockKind.EX):
+            b.jmp("nowhere")
+            b.stop()
+        with pytest.raises(BuilderError, match="undefined label"):
+            b.build()
+
+    def test_duplicate_label_rejected(self):
+        b = minimal()
+        with b.block(BlockKind.EX):
+            b.label("x")
+            with pytest.raises(BuilderError, match="duplicate"):
+                b.label("x")
+
+    def test_cross_block_branch_rejected(self):
+        b = minimal()
+        with b.block(BlockKind.PL):
+            b.label("pl_top")
+            b.load("v", b.slot("s"))
+        with b.block(BlockKind.EX):
+            b.jmp("pl_top")
+            b.stop()
+        with pytest.raises(ProgramError, match="branches must stay"):
+            b.build()
+
+    def test_label_outside_block_rejected(self):
+        b = minimal()
+        with pytest.raises(BuilderError):
+            b.label("x")
+
+    def test_auto_label_names_unique(self):
+        b = minimal()
+        with b.block(BlockKind.EX):
+            l1 = b.label()
+            l2 = b.label()
+            b.stop()
+        assert l1 != l2
+
+
+class TestForRange:
+    def test_counts_correctly(self):
+        from repro.testing import run_program
+        from repro.core.activity import GlobalObject, ObjRef
+
+        b = ThreadBuilder("counter")
+        out = b.slot("out")
+        with b.block(BlockKind.PL):
+            b.load("rout", out)
+        with b.block(BlockKind.EX):
+            b.li("acc", 0)
+            with b.for_range("i", 0, 7):
+                b.add("acc", "acc", "i")
+            b.write("rout", 0, "acc")
+            b.stop()
+        res = run_program(
+            b,
+            stores={"out": ObjRef("out")},
+            globals_=[GlobalObject.zeros("out", 1)],
+        )
+        assert res.word("out") == sum(range(7))
+
+    def test_register_stop_bound(self):
+        from repro.testing import run_program
+        from repro.core.activity import GlobalObject, ObjRef
+
+        b = ThreadBuilder("counter")
+        out, n = b.slot("out"), b.slot("n")
+        with b.block(BlockKind.PL):
+            b.load("rout", out)
+            b.load("rn", n)
+        with b.block(BlockKind.EX):
+            b.li("acc", 0)
+            with b.for_range("i", 0, "rn"):
+                b.addi("acc", "acc", 2)
+            b.write("rout", 0, "acc")
+            b.stop()
+        res = run_program(
+            b,
+            stores={"out": ObjRef("out"), "n": 5},
+            globals_=[GlobalObject.zeros("out", 1)],
+        )
+        assert res.word("out") == 10
+
+    def test_zero_step_rejected(self):
+        b = minimal()
+        with b.block(BlockKind.EX):
+            with pytest.raises(BuilderError):
+                with b.for_range("i", 0, 4, step=0):
+                    pass
+
+
+class TestOperandCoercion:
+    def test_int_sources_become_immediates(self):
+        b = minimal()
+        with b.block(BlockKind.EX):
+            instr = b.mov("x", 5)
+            b.stop()
+        from repro.isa.instructions import Imm
+
+        assert instr.ra == Imm(5)
+
+    def test_bad_destination_rejected(self):
+        b = minimal()
+        with b.block(BlockKind.EX):
+            with pytest.raises(BuilderError):
+                b.mov(5, "x")  # type: ignore[arg-type]

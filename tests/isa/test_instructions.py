@@ -1,0 +1,150 @@
+"""Instruction objects: operand validation, annotations, rewriting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.instructions import (
+    GlobalAccess,
+    Imm,
+    Instruction,
+    LinExpr,
+    Reg,
+)
+from repro.isa.opcodes import Op, Slot, Unit, spec_of
+
+
+class TestOperandTypes:
+    def test_reg_repr(self):
+        assert repr(Reg(5)) == "r5"
+
+    def test_imm_repr(self):
+        assert repr(Imm(7)) == "#7"
+
+    def test_negative_register_rejected(self):
+        with pytest.raises(ValueError):
+            Reg(-1)
+
+
+class TestSignatureValidation:
+    def test_add_requires_rd_ra_rb(self):
+        Instruction(op=Op.ADD, rd=1, ra=Reg(2), rb=Reg(3))
+        with pytest.raises(ValueError, match="rd"):
+            Instruction(op=Op.ADD, ra=Reg(2), rb=Reg(3))
+        with pytest.raises(ValueError, match="rb"):
+            Instruction(op=Op.ADD, rd=1, ra=Reg(2))
+
+    def test_nop_takes_nothing(self):
+        Instruction(op=Op.NOP)
+        with pytest.raises(ValueError):
+            Instruction(op=Op.NOP, rd=1)
+
+    def test_branch_requires_target(self):
+        Instruction(op=Op.JMP, target="loop")
+        with pytest.raises(ValueError):
+            Instruction(op=Op.JMP)
+
+    def test_dmaget_requires_tag(self):
+        Instruction(op=Op.DMAGET, ra=Reg(1), rb=Reg(2), imm=64, tag=0)
+        with pytest.raises(ValueError, match="tag"):
+            Instruction(op=Op.DMAGET, ra=Reg(1), rb=Reg(2), imm=64)
+
+    def test_access_only_on_read_write(self):
+        acc = GlobalAccess(obj="A", base_slot=0)
+        Instruction(op=Op.READ, rd=1, ra=Reg(2), imm=0, access=acc)
+        with pytest.raises(ValueError, match="access"):
+            Instruction(op=Op.ADD, rd=1, ra=Reg(2), rb=Reg(3), access=acc)
+
+    def test_every_opcode_signature_is_constructible(self):
+        """Each signature field name must be one the validator knows."""
+        for op in Op:
+            fields = set(f for f in spec_of(op).signature.split(",") if f)
+            assert fields <= {"rd", "ra", "rb", "imm", "target", "tag",
+                              "stride"}
+
+
+class TestRewriting:
+    def test_with_target(self):
+        i = Instruction(op=Op.BEQZ, ra=Reg(1), target="x")
+        j = i.with_target(7)
+        assert j.target == 7 and i.target == "x"
+
+    def test_with_target_requires_branch_target(self):
+        with pytest.raises(ValueError):
+            Instruction(op=Op.NOP).with_target(3)
+
+    def test_replace_op_read_to_lload(self):
+        acc = GlobalAccess(obj="A", base_slot=0)
+        r = Instruction(op=Op.READ, rd=1, ra=Reg(2), imm=4, access=acc)
+        l = r.replace_op(Op.LLOAD, drop_access=True)
+        assert l.op is Op.LLOAD
+        assert l.rd == 1 and l.ra == Reg(2) and l.imm == 4
+        assert l.access is None
+
+    def test_str_renders_operands(self):
+        i = Instruction(op=Op.ADDI, rd=3, ra=Reg(4), imm=8, comment="bump")
+        text = str(i)
+        assert "ADDI" in text and "r3" in text and "#8" in text and "bump" in text
+
+
+class TestLinExpr:
+    def test_constant(self):
+        e = LinExpr.const(12)
+        assert e.is_constant and e.evaluate({}) == 12
+
+    def test_param_dependent(self):
+        e = LinExpr(param_slot=3, scale=128, offset=4)
+        assert not e.is_constant
+        assert e.evaluate({3: 2}) == 260
+
+    def test_constant_with_scale_rejected(self):
+        with pytest.raises(ValueError):
+            LinExpr(param_slot=None, scale=4, offset=0)
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(ValueError):
+            LinExpr(param_slot=-1, scale=1)
+
+
+class TestGlobalAccess:
+    def test_region_key_groups_equal_regions(self):
+        a = GlobalAccess(obj="A", base_slot=0, region_bytes=64)
+        b = GlobalAccess(obj="A", base_slot=0, region_bytes=64, expected_uses=9)
+        assert a.region_key == b.region_key
+
+    def test_region_key_distinguishes_objects(self):
+        a = GlobalAccess(obj="A", base_slot=0)
+        b = GlobalAccess(obj="B", base_slot=0)
+        assert a.region_key != b.region_key
+
+    def test_rejects_unaligned_region(self):
+        with pytest.raises(ValueError):
+            GlobalAccess(obj="A", base_slot=0, region_bytes=6)
+
+    def test_rejects_zero_uses(self):
+        with pytest.raises(ValueError):
+            GlobalAccess(obj="A", base_slot=0, expected_uses=0)
+
+
+class TestOpSpecs:
+    def test_mem_slot_ops(self):
+        for op in (Op.LOAD, Op.STORE, Op.READ, Op.WRITE, Op.DMAGET, Op.FALLOC):
+            assert spec_of(op).slot is Slot.MEM
+
+    def test_alu_slot_ops(self):
+        for op in (Op.ADD, Op.BEQ, Op.LI, Op.NOP):
+            assert spec_of(op).slot is Slot.ALU
+
+    def test_stall_attribution_units(self):
+        assert spec_of(Op.READ).unit is Unit.MAIN
+        assert spec_of(Op.LOAD).unit is Unit.LS
+        assert spec_of(Op.FALLOC).unit is Unit.LSE
+        assert spec_of(Op.DMAGET).unit is Unit.MFC
+
+    def test_branches_marked(self):
+        assert spec_of(Op.BEQ).is_branch
+        assert not spec_of(Op.ADD).is_branch
+
+    def test_writes_rd_flag(self):
+        assert spec_of(Op.ADD).writes_rd
+        assert not spec_of(Op.STORE).writes_rd

@@ -1,0 +1,155 @@
+"""The functional reference interpreter + differential testing.
+
+The headline property: for every workload (baseline, prefetched,
+write-back, gathered), the cycle-level machine's final main memory must
+match the timing-free golden model word for word.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cell.machine import Machine
+from repro.compiler.passes import PrefetchOptions, prefetch_transform
+from repro.isa.interpreter import (
+    FunctionalMachine,
+    InterpreterError,
+    run_functional,
+)
+from repro.testing import small_config
+from repro.workloads import bitcount, colsum, inplace, matmul, zoom
+
+
+def assert_equivalent(activity, spes=2):
+    """Run both machines; compare every global object's final state."""
+    golden = run_functional(activity)
+    sim = Machine(small_config(num_spes=spes))
+    sim.load(activity)
+    sim.run()
+    for obj in activity.globals:
+        assert sim.read_global(obj.name) == golden.read_global(obj.name), (
+            f"{activity.name}: object {obj.name!r} diverges between the "
+            f"cycle simulator and the functional golden model"
+        )
+
+
+class TestGoldenModel:
+    def test_matches_matmul_oracle(self):
+        wl = matmul.build(n=4, threads=2)
+        golden = run_functional(wl.activity)
+        assert golden.read_global("C") == wl.oracle["C"]
+
+    def test_matches_bitcnt_oracle(self):
+        wl = bitcount.build(iterations=8, unroll=4)
+        golden = run_functional(wl.activity)
+        assert golden.read_global("results") == wl.oracle["results"]
+
+    def test_counts_threads_and_instructions(self):
+        wl = matmul.build(n=4, threads=2)
+        golden = run_functional(wl.activity)
+        assert golden.threads_run == 3  # join + 2 workers
+        assert golden.instructions > 100
+
+    def test_detects_sc_overflow(self):
+        from repro.core.activity import GlobalObject, ObjRef, SpawnSpec, TLPActivity
+        from repro.isa.builder import ThreadBuilder
+        from repro.isa.program import BlockKind
+
+        b = ThreadBuilder("over")
+        b.slot("x")
+        with b.block(BlockKind.PL):
+            b.load("v", 0)
+        with b.block(BlockKind.EX):
+            b.stop()
+        act = TLPActivity(
+            name="bad",
+            templates=[b.build()],
+            spawns=[SpawnSpec(template="over", stores={0: 1, 1: 2},
+                              extra_sc=-1)],  # SC smaller than stores
+        )
+        with pytest.raises(InterpreterError, match="more stores"):
+            run_functional(act)
+
+    def test_detects_starved_thread(self):
+        from repro.core.activity import SpawnSpec, TLPActivity
+        from repro.isa.builder import ThreadBuilder
+        from repro.isa.program import BlockKind
+
+        b = ThreadBuilder("starved")
+        b.slot("x")
+        with b.block(BlockKind.PL):
+            b.load("v", 0)
+        with b.block(BlockKind.EX):
+            b.stop()
+        act = TLPActivity(
+            name="starve",
+            templates=[b.build()],
+            spawns=[SpawnSpec(template="starved", extra_sc=2)],  # no producer
+        )
+        with pytest.raises(InterpreterError, match="never fired"):
+            run_functional(act)
+
+
+class TestDifferential:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: matmul.build(n=4, threads=2).activity,
+            lambda: zoom.build(n=4, z=2, threads=2).activity,
+            lambda: bitcount.build(iterations=8, unroll=4).activity,
+            lambda: colsum.build(n=8, mode="gather").activity,
+            lambda: inplace.build(n=8, threads=4).activity,
+        ],
+        ids=["mmul", "zoom", "bitcnt", "colsum", "brighten"],
+    )
+    def test_baseline_activities_match_golden_model(self, build):
+        assert_equivalent(build())
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: prefetch_transform(matmul.build(n=4, threads=2).activity),
+            lambda: prefetch_transform(
+                zoom.build(n=4, z=2, threads=2).activity
+            ),
+            lambda: prefetch_transform(
+                bitcount.build(iterations=8, unroll=4).activity
+            ),
+            lambda: prefetch_transform(
+                colsum.build(n=8, mode="gather").activity
+            ),
+            lambda: prefetch_transform(
+                inplace.build(n=8, threads=4).activity,
+                PrefetchOptions(allow_writeback=True),
+            ),
+        ],
+        ids=["mmul", "zoom", "bitcnt", "colsum-gather", "brighten-wb"],
+    )
+    def test_transformed_activities_match_golden_model(self, build):
+        assert_equivalent(build())
+
+    def test_golden_model_is_fast(self):
+        """Sanity check of the interpreter's reason to exist."""
+        import time
+
+        wl = matmul.build(n=16, threads=16)
+        t0 = time.perf_counter()
+        run_functional(wl.activity)
+        assert time.perf_counter() - t0 < 2.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(2, 8),
+    spes=st.integers(1, 4),
+    prefetch=st.booleans(),
+)
+def test_differential_property_mmul(n, spes, prefetch):
+    """Random sizes, machine widths and variants: memory always matches."""
+    wl = matmul.build(n=2 * (n // 2 + 1), threads=2)
+    activity = wl.activity
+    if prefetch:
+        activity = prefetch_transform(activity)
+    assert_equivalent(activity, spes=spes)

@@ -1,0 +1,198 @@
+"""ThreadProgram: block discipline, flat view, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.builder import ThreadBuilder
+from repro.isa.instructions import Instruction, Reg
+from repro.isa.opcodes import Op
+from repro.isa.program import BlockKind, ProgramError, ThreadProgram
+
+
+def simple_program():
+    b = ThreadBuilder("p")
+    s = b.slot("in")
+    with b.block(BlockKind.PL):
+        b.load("x", s)
+    with b.block(BlockKind.EX):
+        b.addi("x", "x", 1)
+    with b.block(BlockKind.PS):
+        b.stop()
+    return b.build()
+
+
+class TestStructure:
+    def test_flat_order_is_pf_pl_ex_ps(self):
+        prog = simple_program()
+        assert [i.op for i in prog.flat] == [Op.LOAD, Op.ADDI, Op.STOP]
+
+    def test_block_ranges(self):
+        prog = simple_program()
+        assert prog.block_ranges[BlockKind.PL] == (0, 1)
+        assert prog.block_ranges[BlockKind.EX] == (1, 2)
+        assert prog.block_ranges[BlockKind.PS] == (2, 3)
+
+    def test_block_of(self):
+        prog = simple_program()
+        assert prog.block_of(0) is BlockKind.PL
+        assert prog.block_of(2) is BlockKind.PS
+        with pytest.raises(IndexError):
+            prog.block_of(3)
+
+    def test_len(self):
+        assert len(simple_program()) == 3
+
+    def test_has_prefetch(self):
+        assert not simple_program().has_prefetch
+
+    def test_empty_blocks_are_dropped(self):
+        prog = ThreadProgram(
+            name="t",
+            blocks={
+                BlockKind.PL: (),
+                BlockKind.EX: (Instruction(op=Op.STOP),),
+            },
+        )
+        assert BlockKind.PL not in prog.blocks
+
+
+class TestDiscipline:
+    def test_empty_program_rejected(self):
+        with pytest.raises(ProgramError):
+            ThreadProgram(name="t", blocks={})
+
+    def test_missing_stop_rejected(self):
+        with pytest.raises(ProgramError, match="STOP"):
+            ThreadProgram(
+                name="t",
+                blocks={BlockKind.EX: (Instruction(op=Op.NOP),)},
+            )
+
+    def test_two_stops_rejected(self):
+        with pytest.raises(ProgramError, match="exactly one STOP"):
+            ThreadProgram(
+                name="t",
+                blocks={
+                    BlockKind.EX: (
+                        Instruction(op=Op.STOP),
+                        Instruction(op=Op.STOP),
+                    )
+                },
+            )
+
+    def test_stop_not_last_rejected(self):
+        with pytest.raises(ProgramError, match="final"):
+            ThreadProgram(
+                name="t",
+                blocks={
+                    BlockKind.EX: (
+                        Instruction(op=Op.STOP),
+                        Instruction(op=Op.NOP),
+                    )
+                },
+            )
+
+    @pytest.mark.parametrize(
+        "op,kind",
+        [
+            (Op.LOAD, BlockKind.EX),   # no frame reads in EX (paper rule)
+            (Op.STORE, BlockKind.EX),  # stores belong to PS
+            (Op.READ, BlockKind.PL),   # global reads live in EX
+            (Op.DMAGET, BlockKind.EX),  # DMA programming belongs to PF
+            (Op.LSALLOC, BlockKind.PL),
+        ],
+    )
+    def test_opcode_block_restrictions(self, op, kind):
+        instr = {
+            Op.LOAD: Instruction(op=Op.LOAD, rd=0, imm=0),
+            Op.STORE: Instruction(op=Op.STORE, ra=Reg(0), rb=Reg(1), imm=0),
+            Op.READ: Instruction(op=Op.READ, rd=0, ra=Reg(1), imm=0),
+            Op.DMAGET: Instruction(op=Op.DMAGET, ra=Reg(0), rb=Reg(1), imm=4,
+                                   tag=0),
+            Op.LSALLOC: Instruction(op=Op.LSALLOC, rd=0, imm=16),
+        }[op]
+        blocks = {kind: (instr,), BlockKind.PS: (Instruction(op=Op.STOP),)}
+        with pytest.raises(ProgramError, match="not allowed"):
+            ThreadProgram(name="t", blocks=blocks, frame_words=4)
+
+    def test_unresolved_branch_rejected(self):
+        with pytest.raises(ProgramError, match="unresolved"):
+            ThreadProgram(
+                name="t",
+                blocks={
+                    BlockKind.EX: (
+                        Instruction(op=Op.JMP, target="loop"),
+                        Instruction(op=Op.STOP),
+                    )
+                },
+            )
+
+    def test_branch_past_stop_rejected(self):
+        # A branch to the end of the final block would skip STOP.
+        with pytest.raises(ProgramError, match="outside the block"):
+            ThreadProgram(
+                name="t",
+                blocks={
+                    BlockKind.EX: (
+                        Instruction(op=Op.JMP, target=2),
+                        Instruction(op=Op.STOP),
+                    )
+                },
+            )
+
+    def test_branch_to_block_end_falls_through(self):
+        # Non-final block: branching to the end is legal fall-through.
+        prog = ThreadProgram(
+            name="t",
+            blocks={
+                BlockKind.EX: (
+                    Instruction(op=Op.BEQZ, ra=Reg(0), target=1),
+                ),
+                BlockKind.PS: (Instruction(op=Op.STOP),),
+            },
+        )
+        assert prog.flat[0].target == 1
+
+    def test_load_beyond_frame_words_rejected(self):
+        with pytest.raises(ProgramError, match="beyond frame_words"):
+            ThreadProgram(
+                name="t",
+                blocks={
+                    BlockKind.PL: (Instruction(op=Op.LOAD, rd=0, imm=5),),
+                    BlockKind.EX: (Instruction(op=Op.STOP),),
+                },
+                frame_words=2,
+            )
+
+    def test_pointer_param_beyond_frame_rejected(self):
+        from repro.isa.instructions import PointerParam
+
+        with pytest.raises(ProgramError, match="beyond"):
+            ThreadProgram(
+                name="t",
+                blocks={BlockKind.EX: (Instruction(op=Op.STOP),)},
+                pointer_params=(PointerParam(slot=3, obj="A"),),
+                frame_words=2,
+            )
+
+    def test_duplicate_pointer_params_rejected(self):
+        from repro.isa.instructions import PointerParam
+
+        with pytest.raises(ProgramError, match="duplicate"):
+            ThreadProgram(
+                name="t",
+                blocks={BlockKind.EX: (Instruction(op=Op.STOP),)},
+                pointer_params=(
+                    PointerParam(slot=0, obj="A"),
+                    PointerParam(slot=0, obj="B"),
+                ),
+                frame_words=2,
+            )
+
+
+class TestDisassembly:
+    def test_disassemble_mentions_blocks_and_ops(self):
+        text = simple_program().disassemble()
+        assert ".PL:" in text and ".EX:" in text and ".PS:" in text
+        assert "LOAD" in text and "STOP" in text

@@ -1,0 +1,152 @@
+"""Functional ALU/branch semantics, including 64-bit wrap properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.opcodes import Op
+from repro.isa.semantics import (
+    ArithmeticFault,
+    alu_result,
+    branch_taken,
+    to_unsigned64,
+    wrap64,
+)
+
+i64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+anyint = st.integers(min_value=-(2**70), max_value=2**70)
+
+
+class TestWrap64:
+    @given(anyint)
+    def test_wrap_is_idempotent(self, v):
+        assert wrap64(wrap64(v)) == wrap64(v)
+
+    @given(anyint)
+    def test_wrap_range(self, v):
+        w = wrap64(v)
+        assert -(2**63) <= w < 2**63
+
+    @given(i64)
+    def test_wrap_identity_in_range(self, v):
+        assert wrap64(v) == v
+
+    @given(i64)
+    def test_unsigned_roundtrip(self, v):
+        assert wrap64(to_unsigned64(v)) == v
+
+    def test_overflow_wraps(self):
+        assert wrap64(2**63) == -(2**63)
+        assert wrap64(-(2**63) - 1) == 2**63 - 1
+
+
+class TestArithmetic:
+    @given(i64, i64)
+    def test_add_matches_python_mod_2_64(self, a, b):
+        assert alu_result(Op.ADD, a, b) == wrap64(a + b)
+
+    @given(i64, i64)
+    def test_sub(self, a, b):
+        assert alu_result(Op.SUB, a, b) == wrap64(a - b)
+
+    @given(st.integers(-(2**31), 2**31), st.integers(-(2**31), 2**31))
+    def test_mul(self, a, b):
+        assert alu_result(Op.MUL, a, b) == wrap64(a * b)
+
+    def test_div_truncates_toward_zero(self):
+        assert alu_result(Op.DIV, 7, 2) == 3
+        assert alu_result(Op.DIV, -7, 2) == -3
+        assert alu_result(Op.DIV, 7, -2) == -3
+
+    def test_mod_sign_follows_dividend(self):
+        assert alu_result(Op.MOD, 7, 3) == 1
+        assert alu_result(Op.MOD, -7, 3) == -1
+
+    @given(i64, i64.filter(lambda b: b != 0))
+    def test_div_mod_identity(self, a, b):
+        q = alu_result(Op.DIV, a, b)
+        r = alu_result(Op.MOD, a, b)
+        assert wrap64(q * b + r) == a
+
+    def test_div_by_zero_faults(self):
+        with pytest.raises(ArithmeticFault):
+            alu_result(Op.DIV, 1, 0)
+        with pytest.raises(ArithmeticFault):
+            alu_result(Op.MOD, 1, 0)
+
+    def test_min_max(self):
+        assert alu_result(Op.MIN, -3, 5) == -3
+        assert alu_result(Op.MAX, -3, 5) == 5
+
+    def test_mov_li(self):
+        assert alu_result(Op.MOV, 42, 0) == 42
+        assert alu_result(Op.LI, 0, 42) == 42
+
+    def test_non_alu_op_rejected(self):
+        with pytest.raises(ValueError):
+            alu_result(Op.READ, 1, 2)
+
+
+class TestLogicAndShifts:
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+    def test_bitwise_match_python(self, a, b):
+        assert alu_result(Op.AND, a, b) == a & b
+        assert alu_result(Op.OR, a, b) == a | b
+        assert alu_result(Op.XOR, a, b) == a ^ b
+
+    def test_shr_is_logical(self):
+        # -1 >> 1 arithmetic would be -1; logical gives 2**63 - 1.
+        assert alu_result(Op.SHR, -1, 1) == 2**63 - 1
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 63))
+    def test_shift_roundtrip_small_values(self, v, s):
+        shifted = alu_result(Op.SHL, v, s)
+        if v < 2 ** (63 - s):
+            assert alu_result(Op.SHR, shifted, s) == v
+
+    def test_shift_amount_uses_low_six_bits(self):
+        assert alu_result(Op.SHL, 1, 64) == 1
+        assert alu_result(Op.SHR, 4, 65) == 2
+
+    @given(st.integers(0, 2**16 - 1))
+    def test_popcount_via_nifty_sequence(self, v):
+        """The bitcnt 'nifty' kernel's maths, checked against bin().count."""
+        x = alu_result(Op.SUB, v, alu_result(Op.AND, v >> 1, 0x55555555))
+        x = alu_result(
+            Op.ADD,
+            alu_result(Op.AND, x, 0x33333333),
+            alu_result(Op.AND, x >> 2, 0x33333333),
+        )
+        x = alu_result(Op.AND, alu_result(Op.ADD, x, x >> 4), 0x0F0F0F0F)
+        x = alu_result(Op.SHR, alu_result(Op.MUL, x, 0x01010101), 24) & 0xFF
+        assert x == bin(v).count("1")
+
+
+class TestComparisons:
+    @given(i64, i64)
+    def test_slt_seq(self, a, b):
+        assert alu_result(Op.SLT, a, b) == int(a < b)
+        assert alu_result(Op.SEQ, a, b) == int(a == b)
+
+
+class TestBranches:
+    @given(i64, i64)
+    def test_branch_conditions(self, a, b):
+        assert branch_taken(Op.BEQ, a, b) == (a == b)
+        assert branch_taken(Op.BNE, a, b) == (a != b)
+        assert branch_taken(Op.BLT, a, b) == (a < b)
+        assert branch_taken(Op.BGE, a, b) == (a >= b)
+
+    @given(i64)
+    def test_zero_branches(self, a):
+        assert branch_taken(Op.BEQZ, a) == (a == 0)
+        assert branch_taken(Op.BNEZ, a) == (a != 0)
+
+    def test_jmp_always_taken(self):
+        assert branch_taken(Op.JMP, 0, 0)
+
+    def test_non_branch_rejected(self):
+        with pytest.raises(ValueError):
+            branch_taken(Op.ADD, 1, 1)

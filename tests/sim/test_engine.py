@@ -1,0 +1,165 @@
+"""Event-skipping engine: scheduling, ordering, deadlock detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.component import Component
+from repro.sim.engine import Engine, SimulationDeadlock, SimulationLimitExceeded
+
+
+class Ticker(Component):
+    """Ticks every ``period`` cycles, ``count`` times, recording cycles."""
+
+    def __init__(self, name: str, period: int = 1, count: int = 5) -> None:
+        super().__init__(name)
+        self.period = period
+        self.remaining = count
+        self.ticks: list[int] = []
+
+    def tick(self, now: int) -> int | None:
+        self.ticks.append(now)
+        self.remaining -= 1
+        return now + self.period if self.remaining > 0 else None
+
+
+class TestBasicScheduling:
+    def test_single_component_ticks_at_requested_cycles(self):
+        eng = Engine()
+        t = eng.register(Ticker("t", period=3, count=4))
+        eng.schedule(t, 1)
+        eng.drain()
+        assert t.ticks == [1, 4, 7, 10]
+
+    def test_engine_skips_dead_cycles(self):
+        eng = Engine()
+        t = eng.register(Ticker("t", period=1000, count=3))
+        eng.schedule(t, 1)
+        eng.drain()
+        assert eng.now == 2001
+        assert eng.ticks_dispatched == 3
+
+    def test_schedule_clamps_past_cycles_to_next(self):
+        eng = Engine()
+        t = eng.register(Ticker("t", count=1))
+        eng.schedule(t, 0)  # now is 0; clamped to 1
+        eng.drain()
+        assert t.ticks == [1]
+
+    def test_duplicate_schedule_is_idempotent(self):
+        eng = Engine()
+        t = eng.register(Ticker("t", count=1))
+        eng.schedule(t, 5)
+        eng.schedule(t, 5)
+        eng.schedule(t, 9)  # later than existing -> ignored
+        eng.drain()
+        assert t.ticks == [5]
+
+    def test_earlier_schedule_wins(self):
+        eng = Engine()
+        t = eng.register(Ticker("t", count=1))
+        eng.schedule(t, 9)
+        eng.schedule(t, 3)
+        eng.drain()
+        assert t.ticks == [3]
+
+    def test_unregistered_component_rejected(self):
+        eng = Engine()
+        t = Ticker("t")
+        with pytest.raises(RuntimeError):
+            eng.schedule(t)
+
+    def test_component_cannot_join_two_engines(self):
+        e1, e2 = Engine(), Engine()
+        t = e1.register(Ticker("t"))
+        with pytest.raises(RuntimeError):
+            e2.register(t)
+
+
+class TestOrdering:
+    def test_same_cycle_priority_order(self):
+        order: list[str] = []
+
+        class P(Component):
+            def __init__(self, name, prio):
+                super().__init__(name)
+                self.priority = prio
+
+            def tick(self, now):
+                order.append(self.name)
+                return None
+
+        eng = Engine()
+        low = eng.register(P("low", 90))
+        high = eng.register(P("high", 10))
+        eng.schedule(low, 5)
+        eng.schedule(high, 5)
+        eng.drain()
+        assert order == ["high", "low"]
+
+    def test_callbacks_run_before_ticks(self):
+        order: list[str] = []
+        eng = Engine()
+        t = eng.register(Ticker("t", count=1))
+        eng.schedule(t, 5)
+        eng.call_at(5, lambda: order.append("cb"))
+        eng.drain()
+        assert order == ["cb"]
+        assert t.ticks == [5]
+
+    def test_non_advancing_tick_raises(self):
+        class Bad(Component):
+            def tick(self, now):
+                return now
+
+        eng = Engine()
+        bad = eng.register(Bad("bad"))
+        eng.schedule(bad, 1)
+        with pytest.raises(RuntimeError, match="non-advancing"):
+            eng.drain()
+
+
+class TestRunControl:
+    def test_until_condition_stops_run(self):
+        eng = Engine()
+        t = eng.register(Ticker("t", period=2, count=100))
+        eng.schedule(t, 1)
+        eng.run(until=lambda: len(t.ticks) >= 3)
+        assert len(t.ticks) == 3
+
+    def test_deadlock_raises_with_component_states(self):
+        eng = Engine()
+        t = eng.register(Ticker("t", count=1))
+        eng.schedule(t, 1)
+        with pytest.raises(SimulationDeadlock, match="t:"):
+            eng.run(until=lambda: False)
+
+    def test_max_cycles_enforced(self):
+        eng = Engine()
+        t = eng.register(Ticker("t", period=10, count=1000))
+        eng.schedule(t, 1)
+        with pytest.raises(SimulationLimitExceeded):
+            eng.run(until=lambda: False, max_cycles=100)
+
+    def test_drain_returns_final_cycle(self):
+        eng = Engine()
+        t = eng.register(Ticker("t", period=7, count=3))
+        eng.schedule(t, 1)
+        assert eng.drain() == 15
+
+    def test_empty_engine_drains_immediately(self):
+        assert Engine().drain() == 0
+
+    def test_wake_from_callback(self):
+        eng = Engine()
+        t = eng.register(Ticker("t", count=1))
+        eng.call_at(10, lambda: eng.schedule(t, 20))
+        eng.drain()
+        assert t.ticks == [20]
+
+    def test_pending_events_view(self):
+        eng = Engine()
+        t = eng.register(Ticker("t", count=1))
+        eng.schedule(t, 7)
+        pend = list(eng.pending_events())
+        assert pend == [(7, t)]

@@ -1,0 +1,95 @@
+"""bitcnt workload: oracle, kernel agreement, fork behaviour, decoupling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_pair, run_workload
+from repro.sim.config import paper_config
+from repro.testing import small_config
+from repro.workloads import bitcount
+
+
+class TestOracle:
+    def test_values_are_16_bit(self):
+        for g in range(50):
+            assert 0 <= bitcount.value_for_index(g) < 2**16
+
+    def test_oracle_is_five_times_popcount(self):
+        out = bitcount.oracle_bitcnt(8)
+        for g, total in enumerate(out):
+            assert total == 5 * bin(bitcount.value_for_index(g)).count("1")
+
+    def test_values_vary(self):
+        vals = {bitcount.value_for_index(g) for g in range(32)}
+        assert len(vals) > 16
+
+
+class TestBuild:
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ValueError):
+            bitcount.build(iterations=0)
+
+    def test_rejects_non_dividing_unroll(self):
+        with pytest.raises(ValueError, match="unroll"):
+            bitcount.build(iterations=10, unroll=4)
+
+    def test_has_nine_templates(self):
+        wl = bitcount.build(iterations=4, unroll=2)
+        assert len(wl.activity.templates) == 9
+
+    def test_tables_contain_popcounts(self):
+        wl = bitcount.build(iterations=4, unroll=2)
+        btbl = wl.activity.global_obj("btbl").data
+        assert btbl[0] == 0 and btbl[255] == 8 and btbl[0b1010] == 2
+        ntbl = wl.activity.global_obj("ntbl").data
+        assert ntbl == tuple(bin(i).count("1") for i in range(16))
+
+
+class TestExecution:
+    @pytest.mark.parametrize("spes", [1, 2, 8])
+    def test_baseline_counts_correctly(self, spes):
+        wl = bitcount.build(iterations=8, unroll=4)
+        run_workload(wl, small_config(num_spes=spes), prefetch=False)
+
+    @pytest.mark.parametrize("spes", [1, 4])
+    def test_prefetch_counts_correctly(self, spes):
+        wl = bitcount.build(iterations=8, unroll=4)
+        run_workload(wl, small_config(num_spes=spes), prefetch=True)
+
+    def test_thread_count_matches_structure(self):
+        wl = bitcount.build(iterations=8, unroll=4)
+        from repro.cell.machine import Machine
+
+        m = Machine(small_config(num_spes=2))
+        m.load(wl.activity)
+        m.run()
+        # join + 2 chain links + per iteration (1 iter + 1 comb + 5 kernels).
+        assert m.threads_created == 1 + 2 + 8 * 7
+
+    def test_frame_traffic_dominates_reads(self):
+        wl = bitcount.build(iterations=8, unroll=4)
+        res = run_workload(wl, small_config(num_spes=2), prefetch=False)
+        mix = res.stats.mix
+        assert mix.loads + mix.stores > 2 * mix.reads
+        assert mix.reads == 12 * 8  # 4 byte-table + 8 nibble-table per iter
+        assert mix.writes == 8
+
+    def test_prefetch_decouples_only_nibble_table(self):
+        wl = bitcount.build(iterations=8, unroll=4)
+        pair = run_pair(wl, paper_config(2))
+        # 8 of 12 READs per iteration decoupled (paper: 62%).
+        assert pair.prefetch.stats.mix.reads == 4 * 8
+        assert pair.decoupled_fraction == pytest.approx(8 / 12)
+
+    def test_speedup_is_modest(self):
+        wl = bitcount.build(iterations=16, unroll=4)
+        pair = run_pair(wl, paper_config(4))
+        assert 1.0 < pair.speedup < 4.0
+
+    def test_lse_stalls_present_under_forking(self):
+        from repro.sim.stats import Bucket
+
+        wl = bitcount.build(iterations=16, unroll=4)
+        res = run_workload(wl, paper_config(2), prefetch=False)
+        assert res.stats.average_breakdown.lse_stall > 0

@@ -1,0 +1,53 @@
+"""Workload helpers: deterministic data, range splitting, verification."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads.common import lcg_words, split_range
+
+
+class TestLcgWords:
+    def test_deterministic(self):
+        assert lcg_words(10, seed=5) == lcg_words(10, seed=5)
+
+    def test_seed_changes_sequence(self):
+        assert lcg_words(10, seed=5) != lcg_words(10, seed=6)
+
+    @given(st.integers(0, 200), st.integers(0, 50), st.integers(1, 50))
+    def test_range_respected(self, count, lo, span):
+        hi = lo + span
+        values = lcg_words(count, lo=lo, hi=hi)
+        assert len(values) == count
+        assert all(lo <= v < hi for v in values)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            lcg_words(5, lo=3, hi=3)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            lcg_words(-1)
+
+
+class TestSplitRange:
+    @given(st.integers(0, 100), st.integers(1, 16))
+    def test_partition_properties(self, total, parts):
+        spans = split_range(total, parts)
+        assert len(spans) == parts
+        # Chunks tile [0, total) exactly.
+        cursor = 0
+        for start, end in spans:
+            assert start == cursor
+            assert end >= start
+            cursor = end
+        assert cursor == total
+        # Sizes differ by at most one.
+        sizes = [e - s for s, e in spans]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(ValueError):
+            split_range(10, 0)

@@ -1,0 +1,94 @@
+"""mmul workload: oracle, correctness on the machine, instruction profile."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_pair, run_workload
+from repro.sim.config import paper_config
+from repro.testing import small_config
+from repro.workloads import matmul
+from repro.workloads.common import check_outputs
+
+
+class TestOracle:
+    def test_identity(self):
+        n = 3
+        ident = [1 if i == j else 0 for i in range(n) for j in range(n)]
+        a = list(range(9))
+        assert matmul.oracle_matmul(a, ident, n) == a
+
+    def test_small_known_product(self):
+        a = [1, 2, 3, 4]
+        b = [5, 6, 7, 8]
+        assert matmul.oracle_matmul(a, b, 2) == [19, 22, 43, 50]
+
+
+class TestBuild:
+    def test_rejects_non_power_of_two_threads(self):
+        with pytest.raises(ValueError, match="power of two"):
+            matmul.build(n=8, threads=3)
+
+    def test_rejects_threads_not_dividing_n(self):
+        with pytest.raises(ValueError, match="divide"):
+            matmul.build(n=4, threads=8)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            matmul.build(n=1)
+
+    def test_globals_and_templates(self):
+        wl = matmul.build(n=4, threads=2)
+        assert {g.name for g in wl.activity.globals} == {"A", "B", "C"}
+        assert wl.activity.template("mmul_worker").pointer_params
+
+
+class TestExecution:
+    @pytest.mark.parametrize("n,threads,spes", [(4, 2, 1), (4, 4, 2), (8, 4, 4)])
+    def test_baseline_computes_correct_product(self, n, threads, spes):
+        wl = matmul.build(n=n, threads=threads)
+        run_workload(wl, small_config(num_spes=spes), prefetch=False)
+
+    @pytest.mark.parametrize("n,threads,spes", [(4, 2, 1), (8, 4, 4)])
+    def test_prefetch_computes_correct_product(self, n, threads, spes):
+        wl = matmul.build(n=n, threads=threads)
+        run_workload(wl, small_config(num_spes=spes), prefetch=True)
+
+    def test_instruction_profile_matches_table5_shape(self):
+        wl = matmul.build(n=4, threads=2)
+        res = run_workload(wl, small_config(num_spes=2), prefetch=False)
+        mix = res.stats.mix
+        assert mix.reads == 2 * 4**3
+        assert mix.writes == 4**2
+        assert mix.loads < 0.05 * mix.total
+
+    def test_prefetch_decouples_all_reads(self):
+        wl = matmul.build(n=4, threads=2)
+        pair = run_pair(wl, paper_config(2))
+        assert pair.prefetch.stats.mix.reads == 0
+        assert pair.decoupled_fraction == 1.0
+
+    def test_prefetch_speedup_order_of_magnitude(self):
+        wl = matmul.build(n=8, threads=8)
+        pair = run_pair(wl, paper_config(4))
+        assert pair.speedup > 5.0
+
+    def test_deterministic_inputs(self):
+        w1 = matmul.build(n=4, threads=2, seed=3)
+        w2 = matmul.build(n=4, threads=2, seed=3)
+        assert w1.activity.global_obj("A").data == w2.activity.global_obj("A").data
+        w3 = matmul.build(n=4, threads=2, seed=4)
+        assert w1.activity.global_obj("A").data != w3.activity.global_obj("A").data
+
+    def test_verify_detects_corruption(self):
+        from repro.cell.machine import Machine
+
+        wl = matmul.build(n=4, threads=2)
+        m = Machine(small_config(num_spes=1))
+        m.load(wl.activity)
+        m.run()
+        obj = wl.activity.global_obj("C")
+        m.memory.write_word(obj.addr, 10**9)  # corrupt one element
+        assert check_outputs(wl, m)
+        with pytest.raises(AssertionError):
+            wl.verify(m)

@@ -1,0 +1,88 @@
+"""zoom workload: oracle, correctness, READ/WRITE ratio."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_pair, run_workload
+from repro.sim.config import paper_config
+from repro.testing import small_config
+from repro.workloads import zoom
+
+
+class TestOracle:
+    def test_constant_image_zooms_to_constant(self):
+        img = [7] * 16
+        out = zoom.oracle_zoom(img, 4, 2)
+        assert all(v == 7 for v in out)
+
+    def test_output_shape(self):
+        out = zoom.oracle_zoom([0] * 16, 4, 4)
+        assert len(out) == (4 * 4) ** 2
+
+    def test_exact_pixels_at_sample_points(self):
+        # out[y*z][x*z] == img[y][x] (fx == 0 -> pure source pixel).
+        n, z = 4, 2
+        img = list(range(16))
+        out = zoom.oracle_zoom(img, n, z)
+        m = n * z
+        for y in range(n):
+            for x in range(n):
+                assert out[(y * z) * m + (x * z)] == img[y * n + x]
+
+    def test_horizontal_interpolation_midpoint(self):
+        n, z = 2, 2
+        img = [0, 10, 0, 10]
+        out = zoom.oracle_zoom(img, n, z)
+        m = n * z
+        # Halfway between columns 0 and 1: (1*0 + 1*10) / 2 = 5.
+        assert out[1] == 5
+
+
+class TestBuild:
+    def test_rejects_non_power_of_two_factor(self):
+        with pytest.raises(ValueError, match="power of two"):
+            zoom.build(n=8, z=3)
+
+    def test_rejects_bad_band_split(self):
+        with pytest.raises(ValueError, match="bands"):
+            zoom.build(n=4, z=4, threads=32)
+
+    def test_globals(self):
+        wl = zoom.build(n=4, z=2, threads=2)
+        assert {g.name for g in wl.activity.globals} == {"img", "out"}
+
+
+class TestExecution:
+    @pytest.mark.parametrize("spes", [1, 2, 4])
+    def test_baseline_zooms_correctly(self, spes):
+        wl = zoom.build(n=4, z=4, threads=4)
+        run_workload(wl, small_config(num_spes=spes), prefetch=False)
+
+    @pytest.mark.parametrize("spes", [1, 4])
+    def test_prefetch_zooms_correctly(self, spes):
+        wl = zoom.build(n=4, z=4, threads=4)
+        run_workload(wl, small_config(num_spes=spes), prefetch=True)
+
+    def test_read_write_ratio_is_two(self):
+        wl = zoom.build(n=4, z=4, threads=4)
+        res = run_workload(wl, small_config(num_spes=2), prefetch=False)
+        mix = res.stats.mix
+        assert mix.writes == (4 * 4) ** 2
+        assert mix.reads == 2 * mix.writes
+
+    def test_prefetch_decouples_all_reads_and_wins_big(self):
+        wl = zoom.build(n=8, z=4, threads=8)
+        pair = run_pair(wl, paper_config(4))
+        assert pair.prefetch.stats.mix.reads == 0
+        assert pair.speedup > 5.0
+
+    def test_band_regions_cover_disjoint_source_rows(self):
+        wl = zoom.build(n=8, z=2, threads=4)
+        assert wl.params["band"] == 4
+        # Each worker's region covers band/z = 2 source rows of 8 words.
+        worker = wl.activity.template("zoom_worker")
+        from repro.compiler.analysis import analyze_program
+
+        region = analyze_program(worker).regions[0]
+        assert region.size_bytes == 4 * 8 * 2
