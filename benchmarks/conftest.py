@@ -1,23 +1,31 @@
 """Shared fixtures for the benchmark harness.
 
-Simulated runs are deterministic, so pair results are cached per session:
-Figure 5, Figure 9 and Table 5 all consume the same 8-SPE pair runs, and
-the scaling figures reuse their own sweeps.  Each ``test_*`` benchmark
-measures one uncached simulation via ``benchmark.pedantic`` (a cycle
-simulator's wall time is itself a meaningful number) and then asserts the
-paper's *shape* claims on the cached results.
+Simulated runs are deterministic, so pair results are cached at two
+levels.  In-process: Figure 5, Figure 9 and Table 5 all consume the same
+8-SPE pair runs, and the scaling figures reuse their own sweeps.  On
+disk: the shared runs go through :mod:`repro.bench.parallel`, so they
+fan out across ``REPRO_BENCH_JOBS`` worker processes and persist in the
+:mod:`repro.bench.cache` result cache — a benchmark session repeated
+with unchanged code re-simulates nothing it does not measure.  Each
+``test_*`` benchmark still measures one uncached simulation via
+``benchmark.pedantic`` (a cycle simulator's wall time is itself a
+meaningful number) and then asserts the paper's *shape* claims on the
+cached results.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.bench.cache import default_cache
+from repro.bench.parallel import default_jobs
 from repro.bench.runner import PairResult, run_pair, sweep
 from repro.bench.scale import builders, current_scale, spe_counts
 from repro.sim.config import latency1_config, paper_config
 
 _pair_cache: dict = {}
 _sweep_cache: dict = {}
+_disk_cache = default_cache()
 
 
 def pair_for(name: str, spes: int = 8, latency: str = "paper") -> PairResult:
@@ -28,7 +36,9 @@ def pair_for(name: str, spes: int = 8, latency: str = "paper") -> PairResult:
         cfg = (
             latency1_config(spes) if latency == "one" else paper_config(spes)
         )
-        _pair_cache[key] = run_pair(build(), cfg)
+        _pair_cache[key] = run_pair(
+            build(), cfg, jobs=default_jobs(), cache=_disk_cache
+        )
     return _pair_cache[key]
 
 
@@ -36,7 +46,10 @@ def sweep_for(name: str):
     """Cached SPE sweep (Figures 6-8) for benchmark ``name``."""
     key = (name, current_scale())
     if key not in _sweep_cache:
-        _sweep_cache[key] = sweep(builders()[name], spes=spe_counts())
+        _sweep_cache[key] = sweep(
+            builders()[name], spes=spe_counts(),
+            jobs=default_jobs(), cache=_disk_cache,
+        )
         # Reuse the 8-SPE point for the pair cache too.
         _pair_cache[(name, 8, "paper", current_scale())] = (
             _sweep_cache[key].pairs[8]

@@ -1,0 +1,60 @@
+"""Host-performance benchmark: parallel fan-out of a multi-workload sweep.
+
+Not a paper experiment — this measures the bench layer itself: the same
+(workload, SPE count, variant) matrix executed serially and via
+``run_many(jobs=N)``, asserting the results are identical and recording
+the wall-clock ratio.  On a multi-core host the parallel path must beat
+the serial one; on a single core (CI smoke runners) only the identity
+claim is enforced, since forking cannot create cycles out of thin air.
+
+The persistent result cache is deliberately bypassed here: both paths
+must actually simulate for the comparison to mean anything.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.bench.parallel import pair_tasks, run_many
+from repro.bench.scale import builders
+from repro.sim.config import paper_config
+
+
+def _matrix():
+    """Every benchmark at 2 and 4 SPEs, both variants — 12 runs."""
+    tasks = []
+    for name, build in builders().items():
+        workload = build()
+        for n in (2, 4):
+            tasks.extend(pair_tasks(workload, paper_config(n)))
+    return tasks
+
+
+def test_parallel_sweep_throughput(benchmark):
+    tasks = _matrix()
+    jobs = min(4, os.cpu_count() or 1)
+
+    t0 = time.perf_counter()
+    serial = run_many(tasks, jobs=1)
+    serial_s = time.perf_counter() - t0
+
+    def parallel_run():
+        return run_many(tasks, jobs=jobs)
+
+    parallel = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+    parallel_s = benchmark.stats.stats.mean
+
+    assert [r.cycles for r in serial] == [r.cycles for r in parallel]
+
+    benchmark.extra_info["runs"] = len(tasks)
+    benchmark.extra_info["jobs"] = jobs
+    benchmark.extra_info["serial_seconds"] = round(serial_s, 3)
+    benchmark.extra_info["speedup_vs_serial"] = round(serial_s / parallel_s, 2)
+    if jobs >= 2 and (os.cpu_count() or 1) >= 2:
+        # The whole point of the subsystem: a multi-workload sweep must
+        # get faster when fanned out across real cores.
+        assert parallel_s < serial_s, (
+            f"parallel sweep ({parallel_s:.2f}s, jobs={jobs}) not faster "
+            f"than serial ({serial_s:.2f}s)"
+        )

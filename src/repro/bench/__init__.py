@@ -1,5 +1,7 @@
 """Experiment harness: runners, scales and paper-style reports."""
 
+from repro.bench.cache import ResultCache, default_cache, result_key
+from repro.bench.parallel import RunTask, default_jobs, pair_tasks, run_many
 from repro.bench.report import (
     breakdown_table,
     execution_table,
@@ -36,4 +38,11 @@ __all__ = [
     "spe_counts",
     "Timeline",
     "render_timeline",
+    "ResultCache",
+    "default_cache",
+    "result_key",
+    "RunTask",
+    "run_many",
+    "pair_tasks",
+    "default_jobs",
 ]

@@ -1,0 +1,186 @@
+"""Persistent result cache for simulated runs.
+
+A simulated run is a pure function of (workload, machine configuration,
+prefetch options, simulator code), so completed :class:`RunResult`s can
+be reused across processes: repeated sweeps, ``reproduce`` re-runs and
+the benchmark suite's shape assertions all skip simulations that have
+already been performed.
+
+Keys are content hashes: workload name + build parameters + a digest of
+the activity itself, the full :class:`~repro.sim.config.MachineConfig`,
+the prefetch variant and its :class:`~repro.compiler.passes.PrefetchOptions`,
+the cycle limit, and a **code-version stamp** (a hash over every ``.py``
+file of the :mod:`repro` package).  Any change to the simulator, the
+compiler pass or a workload generator therefore invalidates every entry
+automatically — a stale cache can never masquerade as a fresh result.
+
+Entries are pickled ``RunResult`` objects, one file per key, written
+atomically.  The cache directory defaults to
+``$XDG_CACHE_HOME/repro-bench`` (``~/.cache/repro-bench``) and can be
+moved with ``REPRO_BENCH_CACHE=<dir>`` or disabled with
+``REPRO_BENCH_CACHE=off`` (the CLI's ``--no-cache`` does the same for
+one invocation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from repro.cell.machine import RunResult
+from repro.compiler.passes import PrefetchOptions
+from repro.sim.config import MachineConfig
+from repro.workloads.common import Workload
+
+__all__ = ["ResultCache", "default_cache", "result_key", "code_stamp"]
+
+#: ``REPRO_BENCH_CACHE`` values that disable the default cache.
+_OFF_VALUES = {"off", "none", "0", "no", "false"}
+
+
+@functools.lru_cache(maxsize=1)
+def code_stamp() -> str:
+    """Hash of every ``.py`` source file of the :mod:`repro` package.
+
+    Computed once per process; any source change produces a new stamp and
+    thereby a disjoint key space (old entries are simply never read).
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def _activity_digest(workload: Workload) -> str:
+    """Content digest of the baseline activity (templates + globals).
+
+    Guards against two workloads sharing a name and parameter dict while
+    differing in generated code or input data.
+    """
+    return hashlib.sha256(pickle.dumps(workload.activity)).hexdigest()[:16]
+
+
+def result_key(
+    workload: Workload,
+    config: MachineConfig,
+    prefetch: bool,
+    options: PrefetchOptions | None = None,
+    max_cycles: int = 500_000_000,
+) -> str:
+    """Deterministic cache key for one :func:`~repro.bench.runner.run_workload`."""
+    ident = {
+        "code": code_stamp(),
+        "workload": workload.name,
+        "params": workload.params,
+        "activity": _activity_digest(workload),
+        "config": dataclasses.asdict(config),
+        "prefetch": prefetch,
+        "options": dataclasses.asdict(options) if options is not None else None,
+        "max_cycles": max_cycles,
+    }
+    blob = json.dumps(ident, sort_keys=True, default=repr).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed store of pickled :class:`RunResult` objects.
+
+    I/O failures (unwritable directory, corrupt entry, unpicklable stale
+    class layout) degrade to cache misses — the cache must never turn a
+    runnable experiment into an error.
+    """
+
+    def __init__(self, root: "str | os.PathLike[str]") -> None:
+        self.root = Path(root)
+        #: Entries served from disk.
+        self.hits = 0
+        #: Lookups that fell through to simulation.
+        self.misses = 0
+        #: Results written since construction.
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> RunResult | None:
+        """Return the cached result for ``key``, or ``None`` on a miss."""
+        try:
+            with open(self._path(key), "rb") as fh:
+                result = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, TypeError):
+            self.misses += 1
+            return None
+        if not isinstance(result, RunResult):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult) -> None:
+        """Store ``result`` under ``key`` (atomic write, best effort)."""
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(result, fh)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            return
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.pkl"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResultCache({str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses}, stores={self.stores})"
+        )
+
+
+def default_cache() -> ResultCache | None:
+    """The cache selected by the environment, or ``None`` when disabled.
+
+    ``REPRO_BENCH_CACHE`` may name a directory or one of
+    ``off``/``none``/``0`` to disable caching; unset, the cache lives at
+    ``$XDG_CACHE_HOME/repro-bench`` (``~/.cache/repro-bench``).
+    """
+    env = os.environ.get("REPRO_BENCH_CACHE")
+    if env is not None:
+        if env.strip().lower() in _OFF_VALUES or not env.strip():
+            return None
+        return ResultCache(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return ResultCache(base / "repro-bench")

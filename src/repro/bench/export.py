@@ -15,7 +15,7 @@ import io
 import json
 from typing import Mapping
 
-from repro.bench.runner import PairResult, ScalingResult, run_pair, sweep
+from repro.bench.runner import PairResult, ScalingResult
 from repro.bench.scale import builders, current_scale, spe_counts
 from repro.cell.machine import RunResult
 from repro.sim.config import latency1_config, paper_config
@@ -120,23 +120,64 @@ def reproduce_all(
     scale: str | None = None,
     spes: "tuple[int, ...] | None" = None,
     progress=None,
+    jobs: int | None = None,
+    cache=None,
 ) -> dict:
     """Execute the full experiment matrix (Figures 5-9, Table 5, L1).
 
     Returns a JSON-serializable dictionary keyed by experiment id.
     ``progress`` (if given) is called with a status line per step.
+
+    The whole matrix — every (workload, SPE count, variant) point plus
+    the latency-1 study — is one batch of independent deterministic
+    runs, so it is submitted to :func:`repro.bench.parallel.run_many`
+    in a single fan-out: ``jobs`` worker processes drain it (default
+    ``REPRO_BENCH_JOBS`` or serial) and a
+    :class:`~repro.bench.cache.ResultCache` makes a re-run with
+    unchanged code and parameters perform zero new simulations.
     """
+    from repro.bench.parallel import pair_tasks, run_many
+
     def log(msg: str) -> None:
         if progress is not None:
             progress(msg)
 
     scale = scale or current_scale()
-    axis = spes or spe_counts()
+    axis = tuple(spes or spe_counts())
     result: dict = {"scale": scale, "spes": list(axis), "experiments": {}}
-    scalings: dict[str, ScalingResult] = {}
-    for name, build in builders(scale).items():
-        log(f"sweeping {name} over {axis} SPEs ...")
-        scalings[name] = sweep(build, spes=axis)
+
+    workloads = {name: build() for name, build in builders(scale).items()}
+    tasks = []
+    slots: list[tuple[str, str, int]] = []  # (experiment, workload, spes)
+    for name, workload in workloads.items():
+        for n in axis:
+            tasks.extend(pair_tasks(workload, paper_config(n)))
+            slots.append(("scaling", name, n))
+    for name, workload in workloads.items():
+        tasks.extend(pair_tasks(workload, latency1_config(max(axis))))
+        slots.append(("latency1", name, max(axis)))
+
+    log(f"running {len(tasks)} simulations "
+        f"({len(workloads)} workloads x {len(axis)} SPE counts x 2 "
+        f"variants + latency-1 study) ...")
+    runs = run_many(tasks, jobs=jobs, cache=cache, progress=progress)
+
+    scalings: dict[str, ScalingResult] = {
+        name: ScalingResult(workload=name) for name in workloads
+    }
+    latency1_pairs: dict[str, PairResult] = {}
+    for i, (experiment, name, n) in enumerate(slots):
+        pair = PairResult(
+            workload=name,
+            config=tasks[2 * i].config,
+            base=runs[2 * i],
+            prefetch=runs[2 * i + 1],
+        )
+        if experiment == "scaling":
+            scalings[name].pairs[n] = pair
+        else:
+            latency1_pairs[name] = pair
+
     result["experiments"]["scaling"] = {
         name: scaling_to_dict(s) for name, s in scalings.items()
     }
@@ -161,11 +202,9 @@ def reproduce_all(
         }
         for name, p in pairs_at_max.items()
     }
-    log("latency-1 study ...")
-    result["experiments"]["latency1"] = {}
-    for name, build in builders(scale).items():
-        pair = run_pair(build(), latency1_config(max(axis)))
-        result["experiments"]["latency1"][name] = pair_to_dict(pair)
+    result["experiments"]["latency1"] = {
+        name: pair_to_dict(pair) for name, pair in latency1_pairs.items()
+    }
     return result
 
 

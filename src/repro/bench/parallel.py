@@ -1,0 +1,176 @@
+"""Parallel experiment execution.
+
+Every experiment of the paper decomposes into independent simulated runs
+— one per (workload, SPE count, prefetch variant) — and the simulator is
+deterministic, so fanning those runs out across worker processes changes
+wall-clock time and nothing else.  This module is the single execution
+funnel for the bench layer: :func:`run_many` takes a list of
+:class:`RunTask` descriptions, serves what it can from a
+:class:`~repro.bench.cache.ResultCache`, executes the rest (serially or
+on a ``ProcessPoolExecutor``) and returns results in task order,
+bit-identical to a serial run.
+
+The worker count comes from the ``jobs`` argument, falling back to the
+``REPRO_BENCH_JOBS`` environment variable and then to 1 (serial).  Pool
+construction failures — missing ``/dev/shm`` semaphores in sandboxes,
+fork restrictions — degrade gracefully to the serial path.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from repro.bench.cache import ResultCache, result_key
+from repro.bench.runner import run_workload
+from repro.cell.machine import RunResult
+from repro.compiler.passes import PrefetchOptions
+from repro.sim.config import MachineConfig
+from repro.workloads.common import Workload
+
+__all__ = ["RunTask", "run_many", "default_jobs", "pair_tasks"]
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_BENCH_JOBS`` (default 1 = serial)."""
+    raw = os.environ.get("REPRO_BENCH_JOBS", "")
+    try:
+        jobs = int(raw)
+    except ValueError:
+        return 1
+    return max(1, jobs)
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One simulated run, fully described and picklable.
+
+    Mirrors the signature of :func:`~repro.bench.runner.run_workload`;
+    workers rebuild nothing — the workload (activity, oracle, params)
+    ships to the worker and the prefetch transformation, simulation and
+    oracle check all happen there.
+    """
+
+    workload: Workload
+    config: MachineConfig
+    prefetch: bool
+    options: PrefetchOptions | None = None
+    max_cycles: int = 500_000_000
+    verify: bool = True
+
+    @property
+    def label(self) -> str:
+        variant = "prefetch" if self.prefetch else "base"
+        return f"{self.workload.name} spes={self.config.num_spes} {variant}"
+
+    def key(self) -> str:
+        return result_key(
+            self.workload, self.config, self.prefetch, self.options,
+            self.max_cycles,
+        )
+
+
+def pair_tasks(
+    workload: Workload,
+    config: MachineConfig,
+    options: PrefetchOptions | None = None,
+    max_cycles: int = 500_000_000,
+) -> "tuple[RunTask, RunTask]":
+    """The (base, prefetch) task pair of one with/without comparison."""
+    return (
+        RunTask(workload, config, prefetch=False, max_cycles=max_cycles),
+        RunTask(workload, config, prefetch=True, options=options,
+                max_cycles=max_cycles),
+    )
+
+
+def _execute(task: RunTask) -> RunResult:
+    """Worker entry point (module-level so it pickles)."""
+    return run_workload(
+        task.workload,
+        task.config,
+        prefetch=task.prefetch,
+        options=task.options,
+        max_cycles=task.max_cycles,
+        verify=task.verify,
+    )
+
+
+def _run_pool(
+    tasks: Sequence[RunTask], pending: Sequence[int], jobs: int
+) -> Iterator[tuple[int, RunResult]]:
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+        futures = {pool.submit(_execute, tasks[i]): i for i in pending}
+        for future in as_completed(futures):
+            yield futures[future], future.result()
+
+
+def run_many(
+    tasks: Sequence[RunTask],
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> list[RunResult]:
+    """Execute ``tasks`` and return their results in task order.
+
+    Cached results are served first; the remainder run serially
+    (``jobs <= 1``) or across ``jobs`` worker processes.  Either way the
+    returned :class:`RunResult` objects are identical to what a serial
+    loop over :func:`~repro.bench.runner.run_workload` would produce —
+    the simulator carries no global state and every run is deterministic.
+    """
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    total = len(tasks)
+    results: list[RunResult | None] = [None] * total
+    keys: list[str | None] = [None] * total
+    done = 0
+
+    def note(i: int, result: RunResult, source: str) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(
+                f"[{done}/{total}] {tasks[i].label}: {result.cycles} "
+                f"cycles ({source})"
+            )
+
+    def finish(i: int, result: RunResult) -> None:
+        results[i] = result
+        if cache is not None and keys[i] is not None:
+            cache.put(keys[i], result)
+        note(i, result, "ran")
+
+    pending: list[int] = []
+    for i, task in enumerate(tasks):
+        if cache is not None:
+            keys[i] = task.key()
+            hit = cache.get(keys[i])
+            if hit is not None:
+                results[i] = hit
+                note(i, hit, "cached")
+                continue
+        pending.append(i)
+
+    if jobs > 1 and len(pending) > 1:
+        # Pool failures (sandboxed semaphores, fork limits, a worker
+        # dying) leave `pending` holding exactly the unfinished tasks,
+        # which then run on the serial path below.
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            for i, result in _run_pool(tasks, pending, jobs):
+                finish(i, result)
+                pending.remove(i)
+        except (OSError, ValueError, ImportError, BrokenProcessPool) as exc:
+            if progress is not None:
+                progress(
+                    f"process pool unavailable ({exc!r}); finishing "
+                    f"{len(pending)} run(s) serially"
+                )
+    for i in list(pending):
+        finish(i, _execute(tasks[i]))
+
+    return results  # type: ignore[return-value]  # every slot is filled

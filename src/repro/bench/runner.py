@@ -60,12 +60,27 @@ class ScalingResult:
     def speedup_at(self, spes: int) -> float:
         return self.pairs[spes].speedup
 
+    @property
+    def baseline_spes(self) -> int:
+        """SPE count :meth:`scalability` normalizes against.
+
+        The 1-SPE point when the sweep includes it (the paper's Figures
+        6-8 baseline); otherwise the smallest swept count, so partial
+        sweeps still yield a curve anchored at 1.0.
+        """
+        return 1 if 1 in self.pairs else min(self.pairs)
+
     def scalability(self, prefetch: bool) -> dict[int, float]:
-        """Execution time at 1 SPE divided by time at N SPEs."""
+        """Execution time at :attr:`baseline_spes` divided by time at N SPEs.
+
+        With a full 1..8 sweep this is the paper's scalability metric
+        (time at 1 SPE over time at N); a sweep that omits 1 SPE is
+        normalized to its smallest point instead.
+        """
         pick = (lambda p: p.prefetch.cycles) if prefetch else (
             lambda p: p.base.cycles
         )
-        baseline = pick(self.pairs[min(self.pairs)])
+        baseline = pick(self.pairs[self.baseline_spes])
         return {n: baseline / pick(p) for n, p in sorted(self.pairs.items())}
 
 
@@ -99,16 +114,26 @@ def run_pair(
     config: MachineConfig | None = None,
     options: PrefetchOptions | None = None,
     max_cycles: int = 500_000_000,
+    jobs: int | None = None,
+    cache=None,
+    progress: Callable[[str], None] | None = None,
 ) -> PairResult:
-    """Run a workload with and without prefetching on the same machine."""
+    """Run a workload with and without prefetching on the same machine.
+
+    ``jobs``/``cache`` route the two runs through
+    :func:`repro.bench.parallel.run_many`: ``jobs`` worker processes
+    (default ``REPRO_BENCH_JOBS`` or serial) and an optional
+    :class:`~repro.bench.cache.ResultCache` of finished results.
+    """
+    from repro.bench.parallel import pair_tasks, run_many
+
     cfg = config if config is not None else paper_config()
+    base, pf = run_many(
+        pair_tasks(workload, cfg, options=options, max_cycles=max_cycles),
+        jobs=jobs, cache=cache, progress=progress,
+    )
     return PairResult(
-        workload=workload.name,
-        config=cfg,
-        base=run_workload(workload, cfg, prefetch=False, max_cycles=max_cycles),
-        prefetch=run_workload(
-            workload, cfg, prefetch=True, options=options, max_cycles=max_cycles
-        ),
+        workload=workload.name, config=cfg, base=base, prefetch=pf
     )
 
 
@@ -117,14 +142,32 @@ def sweep(
     spes: Sequence[int] = (1, 2, 4, 8),
     config_for: Callable[[int], MachineConfig] = paper_config,
     options: PrefetchOptions | None = None,
+    jobs: int | None = None,
+    cache=None,
+    progress: Callable[[str], None] | None = None,
 ) -> ScalingResult:
     """Pair runs across SPE counts (the Figures 6-8 axes).
 
     ``build`` is called once; the same workload (hence identical inputs
-    and oracle) is reused across machine sizes.
+    and oracle) is reused across machine sizes.  All ``2 * len(spes)``
+    runs are independent, so with ``jobs > 1`` (or ``REPRO_BENCH_JOBS``
+    set) they fan out across worker processes; results are bit-identical
+    to the serial path either way, and ``cache`` serves already-finished
+    runs without simulating.
     """
+    from repro.bench.parallel import pair_tasks, run_many
+
     workload = build()
-    result = ScalingResult(workload=workload.name)
+    tasks = []
     for n in spes:
-        result.pairs[n] = run_pair(workload, config_for(n), options=options)
+        tasks.extend(pair_tasks(workload, config_for(n), options=options))
+    runs = run_many(tasks, jobs=jobs, cache=cache, progress=progress)
+    result = ScalingResult(workload=workload.name)
+    for i, n in enumerate(spes):
+        result.pairs[n] = PairResult(
+            workload=workload.name,
+            config=tasks[2 * i].config,
+            base=runs[2 * i],
+            prefetch=runs[2 * i + 1],
+        )
     return result

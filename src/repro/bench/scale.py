@@ -61,6 +61,12 @@ def builders(scale: str | None = None) -> dict[str, Callable[[], Workload]]:
     }
 
 
-def spe_counts(scale: str | None = None) -> tuple[int, ...]:
-    """The SPE sweep axis (paper: 1..8)."""
+def spe_counts() -> tuple[int, ...]:
+    """The SPE sweep axis (paper: 1..8).
+
+    The axis is the same at every workload scale: the scaling figures'
+    shape claims (Figures 6-8) are asserted at fixed SPE counts, so the
+    scales vary problem size only.  (An earlier signature accepted a
+    ``scale`` argument and silently ignored it.)
+    """
     return (1, 2, 4, 8)

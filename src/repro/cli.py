@@ -54,6 +54,19 @@ def _config(args: argparse.Namespace) -> MachineConfig:
     return cfg
 
 
+def _cache(args: argparse.Namespace):
+    """The persistent result cache, or ``None`` under ``--no-cache``."""
+    if not getattr(args, "cache", False):
+        return None
+    from repro.bench.cache import default_cache
+
+    return default_cache()
+
+
+def _progress(msg: str) -> None:
+    print(f"# {msg}", file=sys.stderr)
+
+
 def _workload(args: argparse.Namespace):
     try:
         build = builders(args.scale)[args.benchmark]
@@ -111,7 +124,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             cfg = cfg.with_latency(args.latency)
         return cfg
 
-    scaling = sweep(build, spes=tuple(args.spes), config_for=config_for)
+    scaling = sweep(
+        build, spes=tuple(args.spes), config_for=config_for,
+        jobs=args.jobs, cache=_cache(args), progress=_progress,
+    )
     print(execution_table(scaling))
     print()
     print(scalability_table(scaling))
@@ -119,10 +135,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
+    from repro.bench.parallel import pair_tasks, run_many
+    from repro.bench.runner import PairResult
+
     cfg = _config(args)
-    pairs = {}
-    for name, build in builders(args.scale).items():
-        pairs[name] = run_pair(build(), cfg)
+    workloads = {name: build() for name, build in builders(args.scale).items()}
+    tasks = []
+    for workload in workloads.values():
+        tasks.extend(pair_tasks(workload, cfg))
+    results = run_many(
+        tasks, jobs=args.jobs, cache=_cache(args), progress=_progress
+    )
+    pairs = {
+        name: PairResult(
+            workload=name, config=cfg,
+            base=results[2 * i], prefetch=results[2 * i + 1],
+        )
+        for i, name in enumerate(workloads)
+    }
     runs = {name: p.base for name, p in pairs.items()}
     print(table5(runs))
     print()
@@ -154,9 +184,10 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.bench.export import reproduce_all, scaling_to_csv, to_json
     from repro.bench.runner import sweep as _sweep
 
+    cache = _cache(args)
     data = reproduce_all(
-        scale=args.scale, spes=tuple(args.spes),
-        progress=lambda msg: print(f"# {msg}", file=sys.stderr),
+        scale=args.scale, spes=tuple(args.spes), progress=_progress,
+        jobs=args.jobs, cache=cache,
     )
     text = to_json(data)
     if args.output:
@@ -168,9 +199,13 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     if args.csv:
         from repro.bench.scale import builders as _builders
 
+        # With the cache on, these sweeps replay the runs reproduce_all
+        # just finished, so the CSV costs no extra simulation.
         with open(args.csv, "w") as fh:
             for name, build in _builders(args.scale).items():
-                fh.write(scaling_to_csv(_sweep(build, spes=tuple(args.spes))))
+                fh.write(scaling_to_csv(_sweep(
+                    build, spes=tuple(args.spes), jobs=args.jobs, cache=cache,
+                )))
         print(f"wrote {args.csv}", file=sys.stderr)
     return 0
 
@@ -247,6 +282,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--threshold", type=float, default=0.5,
                        help="prefetch worthwhileness threshold")
 
+    def parallel_opts(p):
+        p.add_argument("--jobs", "-j", type=int, default=None,
+                       help="worker processes for independent runs "
+                            "(default: REPRO_BENCH_JOBS or 1 = serial)")
+        p.add_argument("--no-cache", dest="cache", action="store_false",
+                       default=True,
+                       help="ignore the persistent result cache "
+                            "(REPRO_BENCH_CACHE) for this invocation")
+
     p_run = sub.add_parser("run", help="run one benchmark")
     common(p_run)
     group = p_run.add_mutually_exclusive_group()
@@ -261,12 +305,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep = sub.add_parser("sweep", help="scaling sweep (Figures 6-8)")
     common(p_sweep, add_spes=False)
     p_sweep.add_argument("--spes", type=int, nargs="+", default=[1, 2, 4, 8])
+    parallel_opts(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_tables = sub.add_parser(
         "tables", help="Figure 5 / Figure 9 / Table 5 at one machine size"
     )
     common(p_tables, benchmark=False)
+    parallel_opts(p_tables)
     p_tables.set_defaults(func=cmd_tables)
 
     p_dis = sub.add_parser("disasm", help="disassemble thread templates")
@@ -301,6 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write JSON here instead of stdout")
     p_rep.add_argument("--csv", default=None,
                        help="also write per-point CSV rows here")
+    parallel_opts(p_rep)
     p_rep.set_defaults(func=cmd_reproduce)
 
     return parser

@@ -124,8 +124,10 @@ class Engine:
                 )
             self._now = cycle
             # Dispatch every event scheduled for this cycle, in
-            # (priority, seq) order.  Ticks may push new same-cycle
-            # callbacks but never same-cycle ticks (schedule() clamps).
+            # (priority, seq) order.  Nothing dispatched here can add
+            # same-cycle work: schedule() and call_at() both clamp
+            # requests for the current (or a past) cycle to now + 1,
+            # so this inner loop always terminates.
             while heap and heap[0][0] == cycle:
                 _, _, _, target = heapq.heappop(heap)
                 if isinstance(target, Component):

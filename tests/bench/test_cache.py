@@ -1,0 +1,151 @@
+"""Persistent result cache: hits, invalidation, robustness, reproduce."""
+
+from __future__ import annotations
+
+import dataclasses
+import pytest
+
+from repro.bench.cache import ResultCache, code_stamp, default_cache, result_key
+from repro.bench.export import reproduce_all, to_json
+from repro.bench.parallel import pair_tasks, run_many
+from repro.bench.runner import run_pair
+from repro.compiler.passes import PrefetchOptions
+from repro.sim.config import paper_config
+from repro.workloads import matmul
+
+
+@pytest.fixture
+def cache(tmp_path) -> ResultCache:
+    return ResultCache(tmp_path / "results")
+
+
+class TestKeys:
+    def test_key_is_deterministic(self):
+        wl = matmul.build(n=4, threads=2)
+        cfg = paper_config(2)
+        assert result_key(wl, cfg, True) == result_key(wl, cfg, True)
+
+    def test_key_varies_with_inputs(self):
+        wl = matmul.build(n=4, threads=2)
+        cfg = paper_config(2)
+        base = result_key(wl, cfg, prefetch=False)
+        assert result_key(wl, cfg, prefetch=True) != base
+        assert result_key(wl, paper_config(4), prefetch=False) != base
+        assert result_key(wl, cfg.with_latency(1), prefetch=False) != base
+        assert result_key(wl, cfg, False, max_cycles=10) != base
+        other = matmul.build(n=8, threads=2)
+        assert result_key(other, cfg, prefetch=False) != base
+
+    def test_key_varies_with_options(self):
+        wl = matmul.build(n=4, threads=2)
+        cfg = paper_config(2)
+        assert result_key(wl, cfg, True, PrefetchOptions()) != result_key(
+            wl, cfg, True, PrefetchOptions(worthwhile_threshold=0.9)
+        )
+
+    def test_key_varies_with_code_stamp(self, monkeypatch):
+        wl = matmul.build(n=4, threads=2)
+        cfg = paper_config(2)
+        before = result_key(wl, cfg, False)
+        monkeypatch.setattr(
+            "repro.bench.cache.code_stamp", lambda: "different-code"
+        )
+        assert result_key(wl, cfg, False) != before
+
+    def test_key_varies_with_activity_content(self):
+        # Same name + params but different generated data must not alias.
+        a = matmul.build(n=4, threads=2)
+        b = matmul.build(n=4, threads=2)
+        b.activity.globals[0] = dataclasses.replace(
+            b.activity.globals[0],
+            data=tuple(x + 1 for x in b.activity.globals[0].data),
+        )
+        assert result_key(a, paper_config(1), False) != result_key(
+            b, paper_config(1), False
+        )
+
+    def test_code_stamp_is_stable_within_process(self):
+        assert code_stamp() == code_stamp()
+        assert len(code_stamp()) == 16
+
+
+class TestStore:
+    def test_roundtrip(self, cache):
+        wl = matmul.build(n=4, threads=2)
+        pair = run_pair(wl, paper_config(1), cache=cache)
+        assert cache.stores == 2 and cache.hits == 0
+        again = run_pair(wl, paper_config(1), cache=cache)
+        assert cache.hits == 2
+        assert again.base.cycles == pair.base.cycles
+        assert again.prefetch.cycles == pair.prefetch.cycles
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        wl = matmul.build(n=4, threads=2)
+        run_pair(wl, paper_config(1), cache=cache)
+        for path in cache.root.glob("*.pkl"):
+            path.write_bytes(b"not a pickle")
+        pair = run_pair(wl, paper_config(1), cache=cache)
+        assert pair.base.cycles > 0
+        assert cache.hits == 0
+
+    def test_unwritable_root_degrades_gracefully(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("in the way")
+        cache = ResultCache(blocker / "impossible")
+        pair = run_pair(
+            matmul.build(n=4, threads=2), paper_config(1), cache=cache
+        )
+        assert pair.base.cycles > 0
+        assert cache.stores == 0
+
+    def test_len_and_clear(self, cache):
+        assert len(cache) == 0
+        run_pair(matmul.build(n=4, threads=2), paper_config(1), cache=cache)
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestDefaultCache:
+    def test_env_path(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path / "c"))
+        cache = default_cache()
+        assert cache is not None and cache.root == tmp_path / "c"
+
+    def test_env_off(self, monkeypatch):
+        for value in ("off", "0", "none", ""):
+            monkeypatch.setenv("REPRO_BENCH_CACHE", value)
+            assert default_cache() is None
+
+    def test_default_location_under_xdg(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_BENCH_CACHE", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        cache = default_cache()
+        assert cache is not None and cache.root == tmp_path / "repro-bench"
+
+
+class TestCachedReproduce:
+    def test_second_reproduce_performs_zero_simulations(
+        self, cache, monkeypatch
+    ):
+        first = reproduce_all(scale="test", spes=(1,), cache=cache)
+        assert cache.misses > 0 and cache.hits == 0
+        executed = cache.misses
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("cached reproduce re-simulated a run")
+
+        monkeypatch.setattr("repro.bench.parallel.run_workload", forbidden)
+        second = reproduce_all(scale="test", spes=(1,), cache=cache)
+        assert cache.hits == executed
+        assert to_json(first) == to_json(second)
+
+    def test_cache_mixes_hits_and_misses(self, cache):
+        wl = matmul.build(n=4, threads=2)
+        run_many(list(pair_tasks(wl, paper_config(1))), cache=cache)
+        tasks = list(pair_tasks(wl, paper_config(1)))
+        tasks += list(pair_tasks(wl, paper_config(2)))
+        messages: list[str] = []
+        run_many(tasks, cache=cache, progress=messages.append)
+        assert sum("(cached)" in m for m in messages) == 2
+        assert sum("(ran)" in m for m in messages) == 2

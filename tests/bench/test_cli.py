@@ -8,8 +8,10 @@ from repro.cli import main
 
 
 @pytest.fixture(autouse=True)
-def _test_scale(monkeypatch):
+def _test_scale(monkeypatch, tmp_path):
     monkeypatch.setenv("REPRO_BENCH_SCALE", "test")
+    # Keep CLI tests hermetic: don't touch the user's result cache.
+    monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path / "cache"))
 
 
 class TestInfo:
@@ -56,6 +58,22 @@ class TestSweep:
         out = capsys.readouterr().out
         assert "Execution time" in out
         assert "Scalability" in out
+
+    def test_sweep_parallel_jobs_matches_serial(self, capsys):
+        assert main(["sweep", "mmul", "--spes", "1", "2", "--no-cache"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["sweep", "mmul", "--spes", "1", "2", "--jobs", "2",
+                     "--no-cache"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_sweep_second_run_served_from_cache(self, capsys):
+        assert main(["sweep", "mmul", "--spes", "1"]) == 0
+        first = capsys.readouterr()
+        assert "(ran)" in first.err
+        assert main(["sweep", "mmul", "--spes", "1"]) == 0
+        second = capsys.readouterr()
+        assert "(cached)" in second.err and "(ran)" not in second.err
+        assert second.out == first.out
 
 
 class TestTables:

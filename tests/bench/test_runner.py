@@ -56,15 +56,42 @@ class TestSweep:
         assert len(calls) == 1
         assert set(scaling.pairs) == {1, 2}
 
-    def test_scalability_normalizes_to_smallest(self):
+    def test_scalability_normalizes_to_one_spe(self):
         scaling = sweep(lambda: matmul.build(n=4, threads=4), spes=(1, 2))
+        assert scaling.baseline_spes == 1
         base = scaling.scalability(prefetch=False)
         assert base[1] == 1.0
         assert base[2] > 1.0
 
+    def test_scalability_without_one_spe_uses_smallest(self):
+        # Regression: the docstring promised a 1-SPE baseline but the
+        # code always used min(pairs); the baseline is now explicit —
+        # 1 when swept, otherwise the smallest swept count.
+        scaling = sweep(lambda: matmul.build(n=4, threads=4), spes=(2, 4, 8))
+        assert scaling.baseline_spes == 2
+        for prefetch in (False, True):
+            scal = scaling.scalability(prefetch=prefetch)
+            assert set(scal) == {2, 4, 8}
+            assert scal[2] == 1.0
+            assert scal[4] > 1.0
+
     def test_speedup_at(self):
         scaling = sweep(lambda: matmul.build(n=4, threads=2), spes=(1,))
         assert scaling.speedup_at(1) > 1.0
+
+    def test_sweep_workload_reuse_is_mutation_free(self):
+        # sweep() builds once and reuses the Workload across machine
+        # sizes and variants; guard against hidden mutation of
+        # activity.globals or templates by running the same object
+        # repeatedly and across sizes: cycle counts must be identical
+        # and outputs oracle-clean (run_pair verifies) every time.
+        wl = matmul.build(n=4, threads=2)
+        first_small = run_pair(wl, paper_config(1))
+        mid = run_pair(wl, paper_config(2))
+        second_small = run_pair(wl, paper_config(1))
+        assert first_small.base.cycles == second_small.base.cycles
+        assert first_small.prefetch.cycles == second_small.prefetch.cycles
+        assert mid.base.cycles != 0  # the interleaved size actually ran
 
 
 class TestScales:

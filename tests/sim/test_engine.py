@@ -63,6 +63,26 @@ class TestBasicScheduling:
         eng.drain()
         assert t.ticks == [3]
 
+    def test_earlier_wake_supersedes_pending_tick(self):
+        # A later-scheduled tick is superseded by an earlier wake; the
+        # stale heap entry is lazily discarded, not dispatched twice.
+        eng = Engine()
+        t = eng.register(Ticker("t", count=1))
+        eng.schedule(t, 40)
+        eng.schedule(t, 12)
+        eng.drain()
+        assert t.ticks == [12]
+        assert eng.ticks_dispatched == 1
+
+    def test_callback_wake_supersedes_pending_tick(self):
+        eng = Engine()
+        t = eng.register(Ticker("t", count=1))
+        eng.schedule(t, 50)
+        eng.call_at(10, lambda: eng.schedule(t, 11))
+        eng.drain()
+        assert t.ticks == [11]
+        assert eng.ticks_dispatched == 1
+
     def test_unregistered_component_rejected(self):
         eng = Engine()
         t = Ticker("t")
@@ -106,6 +126,46 @@ class TestOrdering:
         eng.drain()
         assert order == ["cb"]
         assert t.ticks == [5]
+
+    def test_call_at_clamps_past_and_current_cycles(self):
+        eng = Engine()
+        seen: list[int] = []
+        eng.call_at(0, lambda: seen.append(eng.now))  # now is 0
+        eng.call_at(-7, lambda: seen.append(eng.now))
+        eng.drain()
+        assert seen == [1, 1]
+
+    def test_callback_requesting_current_cycle_defers_to_next(self):
+        # A callback can never re-enter its own cycle: call_at clamps a
+        # same-cycle request to now + 1, so the dispatch loop is finite.
+        eng = Engine()
+        fired: list[tuple[str, int]] = []
+
+        def outer() -> None:
+            fired.append(("outer", eng.now))
+            eng.call_at(eng.now, lambda: fired.append(("inner", eng.now)))
+
+        eng.call_at(3, outer)
+        eng.drain()
+        assert fired == [("outer", 3), ("inner", 4)]
+
+    def test_tick_requesting_current_cycle_callback_defers(self):
+        class CallsBack(Component):
+            def __init__(self, name: str) -> None:
+                super().__init__(name)
+                self.cb_cycles: list[int] = []
+
+            def tick(self, now: int) -> None:
+                self.engine.call_at(
+                    now, lambda: self.cb_cycles.append(self.engine.now)
+                )
+                return None
+
+        eng = Engine()
+        c = eng.register(CallsBack("c"))
+        eng.schedule(c, 5)
+        eng.drain()
+        assert c.cb_cycles == [6]
 
     def test_non_advancing_tick_raises(self):
         class Bad(Component):
