@@ -64,6 +64,18 @@ def run_to_dict(run: RunResult) -> dict:
             "transfers": run.stats.bus.transfers,
             "bytes": run.stats.bus.bytes_moved,
         },
+        "faults": {
+            "plan": run.config.faults.describe(),
+            "dma_delays": run.stats.faults.dma_delays,
+            "dma_drops": run.stats.faults.dma_drops,
+            "dma_retries": run.stats.faults.dma_retries,
+            "dma_fallbacks": run.stats.faults.dma_fallbacks,
+            "bus_delays": run.stats.faults.bus_delays,
+            "bus_duplicates": run.stats.faults.bus_duplicates,
+            "bus_duplicates_absorbed":
+                run.stats.faults.bus_duplicates_absorbed,
+            "mem_stalls": run.stats.faults.mem_stalls,
+        },
     }
 
 

@@ -29,7 +29,21 @@ from repro.compiler.passes import PrefetchOptions
 from repro.sim.config import MachineConfig
 from repro.workloads.common import Workload
 
-__all__ = ["RunTask", "run_many", "default_jobs", "pair_tasks"]
+__all__ = ["RunTask", "TaskFailure", "run_many", "default_jobs", "pair_tasks"]
+
+
+class TaskFailure(RuntimeError):
+    """One or more runs of a :func:`run_many` batch failed.
+
+    Raised after every *other* task has been given the chance to finish
+    (and be cached), so one bad run does not throw away a whole sweep's
+    work.  ``failures`` maps each failing task's label to the exception
+    it raised.
+    """
+
+    def __init__(self, message: str, failures: "dict[str, Exception]") -> None:
+        super().__init__(message)
+        self.failures = failures
 
 
 def default_jobs() -> int:
@@ -99,13 +113,28 @@ def _execute(task: RunTask) -> RunResult:
 
 def _run_pool(
     tasks: Sequence[RunTask], pending: Sequence[int], jobs: int
-) -> Iterator[tuple[int, RunResult]]:
+) -> "Iterator[tuple[int, RunResult | None, Exception | None]]":
+    """Yield ``(index, result, exception)`` as pool tasks finish.
+
+    A task that raises inside its worker yields ``(i, None, exc)`` so the
+    caller can record the failure and keep consuming the others — one bad
+    run must not kill the whole sweep.  :class:`BrokenProcessPool` (the
+    pool machinery itself died) propagates: those tasks are re-runnable
+    and the caller falls back to the serial path.
+    """
     from concurrent.futures import ProcessPoolExecutor, as_completed
+    from concurrent.futures.process import BrokenProcessPool
 
     with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
         futures = {pool.submit(_execute, tasks[i]): i for i in pending}
         for future in as_completed(futures):
-            yield futures[future], future.result()
+            i = futures[future]
+            try:
+                yield i, future.result(), None
+            except BrokenProcessPool:
+                raise
+            except Exception as exc:
+                yield i, None, exc
 
 
 def run_many(
@@ -143,7 +172,16 @@ def run_many(
             cache.put(keys[i], result)
         note(i, result, "ran")
 
-    pending: list[int] = []
+    failures: dict[int, Exception] = {}
+
+    def fail(i: int, exc: Exception) -> None:
+        failures[i] = exc
+        if progress is not None:
+            progress(
+                f"{tasks[i].label}: failed with {type(exc).__name__}: {exc}"
+            )
+
+    pending: set[int] = set()
     for i, task in enumerate(tasks):
         if cache is not None:
             keys[i] = task.key()
@@ -152,25 +190,43 @@ def run_many(
                 results[i] = hit
                 note(i, hit, "cached")
                 continue
-        pending.append(i)
+        pending.add(i)
 
     if jobs > 1 and len(pending) > 1:
         # Pool failures (sandboxed semaphores, fork limits, a worker
         # dying) leave `pending` holding exactly the unfinished tasks,
-        # which then run on the serial path below.
+        # which then run on the serial path below.  Tasks that *raised*
+        # in their worker are recorded in `failures` instead — they are
+        # deterministic, so re-running them serially would fail again.
         from concurrent.futures.process import BrokenProcessPool
 
         try:
-            for i, result in _run_pool(tasks, pending, jobs):
-                finish(i, result)
-                pending.remove(i)
+            for i, result, exc in _run_pool(tasks, sorted(pending), jobs):
+                if exc is not None:
+                    fail(i, exc)
+                else:
+                    finish(i, result)
+                pending.discard(i)
         except (OSError, ValueError, ImportError, BrokenProcessPool) as exc:
             if progress is not None:
                 progress(
                     f"process pool unavailable ({exc!r}); finishing "
                     f"{len(pending)} run(s) serially"
                 )
-    for i in list(pending):
-        finish(i, _execute(tasks[i]))
+    for i in sorted(pending):
+        try:
+            finish(i, _execute(tasks[i]))
+        except Exception as exc:
+            fail(i, exc)
 
+    if failures:
+        labels = ", ".join(tasks[i].label for i in sorted(failures))
+        first_i = min(failures)
+        first = failures[first_i]
+        raise TaskFailure(
+            f"{len(failures)} of {total} run(s) failed: {labels} — first "
+            f"failure ({tasks[first_i].label}): "
+            f"{type(first).__name__}: {first}",
+            {tasks[i].label: exc for i, exc in failures.items()},
+        )
     return results  # type: ignore[return-value]  # every slot is filled

@@ -42,6 +42,9 @@ class _Transfer:
     dst: BusEndpoint
     msg: Message
     enqueued_at: int
+    #: Per-bus sequence number; makes delivery idempotent under injected
+    #: duplicates and lets the sanitizer verify exactly-once delivery.
+    seq: int = 0
 
 
 class Bus(Component):
@@ -63,6 +66,17 @@ class Bus(Component):
         self._queue: deque[_Transfer] = deque()
         #: Cycle each channel becomes free.
         self._channel_free = [0] * config.num_buses
+        self._next_seq = 0
+        #: Sequence numbers granted a channel but not yet delivered; a
+        #: delivery whose seq is absent is a duplicate and is absorbed.
+        self._undelivered: set[int] = set()
+        self._injector = None  # optional FaultInjector
+        self._sanitizer = None  # optional Sanitizer
+
+    def attach_faults(self, injector=None, sanitizer=None) -> None:
+        """Wire the machine's fault injector / sanitizer (both optional)."""
+        self._injector = injector
+        self._sanitizer = sanitizer
 
     # -- API ------------------------------------------------------------------
 
@@ -73,8 +87,10 @@ class Bus(Component):
         node 0).
         """
         src_node = getattr(src, "node_id", 0) if src is not None else 0
+        self._next_seq += 1
         self._queue.append(
-            _Transfer(src_node=src_node, dst=dst, msg=msg, enqueued_at=self.now)
+            _Transfer(src_node=src_node, dst=dst, msg=msg,
+                      enqueued_at=self.now, seq=self._next_seq)
         )
         self.wake()
 
@@ -107,12 +123,37 @@ class Bus(Component):
             self.stats.bytes_moved += t.msg.size_bytes
             self.stats.busy_bus_cycles += cycles
             self.stats.queue_wait_cycles += now - t.enqueued_at
-            dst, msg = t.dst, t.msg
-            self.engine.call_at(finish, lambda d=dst, m=msg: d.deliver(m))
+            inj = self._injector
+            if inj is not None:
+                finish += inj.bus_transfer_delay()
+            self._undelivered.add(t.seq)
+            self.engine.call_at(finish, lambda t=t: self._deliver(t))
+            if inj is not None and inj.bus_duplicate():
+                # Deliver a second copy one cycle later; _deliver absorbs
+                # it because the seq will already be retired.
+                self.engine.call_at(finish + 1, lambda t=t: self._deliver(t))
         if self._queue:
             nxt = min(self._channel_free)
             return max(nxt, now + 1)
         return None
+
+    def _deliver(self, t: _Transfer) -> None:
+        """Deliver a granted transfer exactly once.
+
+        Every transfer reaches this point at least once; injected
+        duplicates reach it twice.  The seq set makes the second arrival
+        a counted no-op, so endpoints never have to be duplicate-safe
+        themselves (a duplicated ReadResponse would spuriously unblock a
+        pipeline; a duplicated StoreMsg would decrement an SC twice).
+        """
+        if t.seq not in self._undelivered:
+            if self._injector is not None:
+                self._injector.stats.bus_duplicates_absorbed += 1
+            return
+        self._undelivered.discard(t.seq)
+        if self._sanitizer is not None:
+            self._sanitizer.message_delivered(t.seq)
+        t.dst.deliver(t.msg)
 
     def describe_state(self) -> str:
         return (

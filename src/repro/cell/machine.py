@@ -18,16 +18,20 @@ from repro.cell.ppe import PPE, PPE_ID
 from repro.cell.spe import SPE
 from repro.core.activity import TLPActivity
 from repro.core.dse import DSE
+from repro.faults.injector import FaultInjector
 from repro.isa.program import ThreadProgram
 from repro.sim.config import MachineConfig
 from repro.sim.engine import Engine
+from repro.sim.sanitize import Sanitizer
 from repro.sim.stats import (
     BusStats,
+    FaultStats,
     MachineStats,
     MemoryStats,
     MFCStats,
     SchedulerStats,
 )
+from repro.sim.watchdog import ProgressWatchdog
 
 __all__ = ["Machine", "RunResult", "run_activity"]
 
@@ -56,6 +60,16 @@ class Machine:
         self.engine = Engine()
         self.bus_stats = BusStats()
         self.memory_stats = MemoryStats()
+        self.fault_stats = FaultStats()
+        #: Fault injector (None when the plan is inert, so the fault-free
+        #: fast path stays exactly the pre-fault-injection code).
+        self.injector = (
+            FaultInjector(config.faults, self.fault_stats)
+            if config.faults.active
+            else None
+        )
+        #: Opt-in invariant cross-checker shared by all components.
+        self.sanitizer = Sanitizer() if config.sanitize else None
         self.bus = Bus(
             "bus", config.bus, config.inter_node_latency, self.bus_stats
         )
@@ -63,6 +77,8 @@ class Machine:
         self.engine.register(self.bus)
         self.engine.register(self.memory)
         self.memory.attach_bus(self.bus)
+        self.bus.attach_faults(self.injector, self.sanitizer)
+        self.memory.attach_faults(self.injector)
 
         # DSEs (one per node) with a forwarding ring when multi-node.
         self.dse_stats = SchedulerStats()
@@ -88,6 +104,8 @@ class Machine:
                 memory=self.memory,
                 dse=self.dses[spe.node_id],
                 machine=self,
+                injector=self.injector,
+                sanitizer=self.sanitizer,
             )
 
         # PPE.
@@ -116,6 +134,21 @@ class Machine:
         self._next_tid = 0
         self.threads_created = 0
         self.threads_completed = 0
+
+        # Progress watchdog (registered last so livelock reports list the
+        # real components first).  Observation-only: it never wakes or
+        # messages another component, so cycle counts are unaffected.
+        self.watchdog = None
+        if config.watchdog.enabled:
+            self.watchdog = ProgressWatchdog(
+                "watchdog",
+                interval=config.watchdog.interval,
+                stall_cycles=config.watchdog.stall_cycles,
+                progress=self._progress_snapshot,
+                done=self._done,
+                detail=self._watchdog_detail,
+            )
+            self.engine.register(self.watchdog)
 
     def attach_tracer(self, tracer) -> None:
         """Record trace events (see :mod:`repro.sim.trace`) on all units."""
@@ -167,10 +200,31 @@ class Machine:
             and self.threads_completed == self.threads_created
         )
 
+    def _progress_snapshot(self) -> tuple[int, int, int]:
+        """Forward-progress fingerprint sampled by the watchdog.
+
+        Any of these moving counts as progress: threads retired, threads
+        created, instructions committed machine-wide.
+        """
+        committed = sum(spe.spu_stats.mix.total for spe in self.spes)
+        return (self.threads_completed, self.threads_created, committed)
+
+    def _watchdog_detail(self) -> str:
+        dma = sum(spe.mfc.outstanding_commands for spe in self.spes)
+        ready = sum(spe.lse.ready_depth for spe in self.spes)
+        return (
+            f"threads: {self.threads_completed}/{self.threads_created} "
+            f"completed; in-flight DMA commands: {dma}; "
+            f"ready-queue depth: {ready}; bus transfers pending: "
+            f"{self.bus.pending}"
+        )
+
     def run(self, max_cycles: int | None = None) -> RunResult:
         """Run the loaded activity to completion."""
         if self._activity is None:
             raise RuntimeError("no activity loaded")
+        if self.watchdog is not None:
+            self.watchdog.start()
         self.engine.run(until=self._done, max_cycles=max_cycles)
         finish = self.engine.now
         # Drain in-flight posted writes / acks so results are observable.
@@ -223,6 +277,7 @@ class Machine:
             memory=self.memory_stats,
             mfc=mfc,
             scheduler=sched,
+            faults=self.fault_stats,
         )
 
     # -- result extraction ----------------------------------------------------------------

@@ -60,9 +60,17 @@ class MainMemory(Component):
         #: Wired by the machine: spe_id -> bus endpoint for responses.
         self.directory: dict[int, object] = {}
         self._bus = None  # wired by the machine
+        self._injector = None  # optional FaultInjector
 
     def attach_bus(self, bus) -> None:
         self._bus = bus
+
+    def attach_faults(self, injector=None) -> None:
+        self._injector = injector
+
+    def _stall(self) -> int:
+        """Injected extra service latency for one request (usually 0)."""
+        return 0 if self._injector is None else self._injector.mem_stall()
 
     # -- functional storage (offline access for loaders/oracles) -----------------
 
@@ -121,7 +129,7 @@ class MainMemory(Component):
     def _respond(self, endpoint, msg: Message, now: int) -> None:
         if self._bus is None:
             raise RuntimeError(f"{self.name}: bus not attached")
-        ready = now + self.config.latency
+        ready = now + self.config.latency + self._stall()
         self.engine.call_at(
             ready, lambda: self._bus.send(self, endpoint, msg)
         )
@@ -142,11 +150,15 @@ class MainMemory(Component):
             self.write_word(msg.addr, msg.value)
             # Credit the SPU's store queue as soon as the port accepts the
             # write (posted stores never wait for the array access itself).
-            self._bus.send(
-                self,
-                self._endpoint(msg.requester_spe),
-                WriteAck(requester_spe=msg.requester_spe),
-            )
+            endpoint = self._endpoint(msg.requester_spe)
+            ack = WriteAck(requester_spe=msg.requester_spe)
+            extra = self._stall()
+            if extra:
+                self.engine.call_at(
+                    now + extra, lambda: self._bus.send(self, endpoint, ack)
+                )
+            else:
+                self._bus.send(self, endpoint, ack)
         elif isinstance(msg, DmaReadRequest):
             self.stats.read_requests += 1
             self.stats.bytes_read += msg.size
@@ -194,7 +206,7 @@ class MainMemory(Component):
                 words=words,
             )
             endpoint = self._endpoint(msg.requester_spe)
-            ready = now + self.config.latency + (msg.count - 1)
+            ready = now + self.config.latency + (msg.count - 1) + self._stall()
             self.engine.call_at(
                 ready, lambda: self._bus.send(self, endpoint, response)
             )

@@ -102,12 +102,17 @@ class MFC(Component):
         self._memory = None
         self._lse = None
         self._endpoint = None  # the SPE bus endpoint responses return to
+        self._injector = None  # optional FaultInjector
+        self._sanitizer = None  # optional Sanitizer
 
-    def wire(self, bus, memory, lse, endpoint) -> None:
+    def wire(self, bus, memory, lse, endpoint, injector=None,
+             sanitizer=None) -> None:
         self._bus = bus
         self._memory = memory
         self._lse = lse
         self._endpoint = endpoint
+        self._injector = injector
+        self._sanitizer = sanitizer
 
     # -- SPU-facing API -------------------------------------------------------
 
@@ -154,6 +159,10 @@ class MFC(Component):
             stride=stride,
         )
         self._next_id += 1
+        if self._sanitizer is not None and kind is DmaKind.GET:
+            self._sanitizer.dma_write_begin(
+                self.name, cmd.command_id, ls_addr, size
+            )
         self._queue.append(cmd)
         self._trace("dma-command", direction=kind.value, bytes=size, tag=tag,
                     tid=tid, chunks=len(chunks))
@@ -171,57 +180,118 @@ class MFC(Component):
         if not self._queue:
             return None
         cmd = self._queue[0]
-        offset, csize = cmd.chunks[cmd.next_chunk]
+        chunk_index = cmd.next_chunk
+        offset, csize = cmd.chunks[chunk_index]
         if cmd.kind is DmaKind.GET and cmd.stride > 4:
             # Strided gather: this chunk covers csize//4 elements whose
             # memory addresses advance by the stride.
             first_element = offset // 4
-            self._bus.send(
-                self._endpoint,
-                self._memory,
-                DmaGatherRequest(
-                    addr=cmd.mem_addr + first_element * cmd.stride,
-                    count=csize // 4,
-                    stride=cmd.stride,
-                    command_id=cmd.command_id,
-                    chunk_index=cmd.next_chunk,
-                    requester_spe=self.spe_id,
-                ),
+            msg: object = DmaGatherRequest(
+                addr=cmd.mem_addr + first_element * cmd.stride,
+                count=csize // 4,
+                stride=cmd.stride,
+                command_id=cmd.command_id,
+                chunk_index=chunk_index,
+                requester_spe=self.spe_id,
             )
         elif cmd.kind is DmaKind.GET:
-            self._bus.send(
-                self._endpoint,
-                self._memory,
-                DmaReadRequest(
-                    addr=cmd.mem_addr + offset,
-                    size=csize,
-                    command_id=cmd.command_id,
-                    chunk_index=cmd.next_chunk,
-                    requester_spe=self.spe_id,
-                ),
+            msg = DmaReadRequest(
+                addr=cmd.mem_addr + offset,
+                size=csize,
+                command_id=cmd.command_id,
+                chunk_index=chunk_index,
+                requester_spe=self.spe_id,
             )
         else:
             # PUT: read the LS data now (charging one port-cycle per 16 B
             # would be symmetric; reads are cheap and bounded, so charge
-            # one port this cycle as an approximation).
+            # one port this cycle as an approximation).  Snapshotting the
+            # words here also makes delayed/retried sends safe: the thread
+            # may STOP and its buffers be reused before the bus request
+            # actually departs.
             self.ls.reserve_port(now)
             words = tuple(self.ls.read_block(cmd.ls_addr + offset, csize // 4))
-            self._bus.send(
-                self._endpoint,
-                self._memory,
-                DmaWriteRequest(
-                    addr=cmd.mem_addr + offset,
-                    words=words,
-                    command_id=cmd.command_id,
-                    chunk_index=cmd.next_chunk,
-                    requester_spe=self.spe_id,
-                ),
+            msg = DmaWriteRequest(
+                addr=cmd.mem_addr + offset,
+                words=words,
+                command_id=cmd.command_id,
+                chunk_index=chunk_index,
+                requester_spe=self.spe_id,
             )
         cmd.next_chunk += 1
         if cmd.issued_all:
             self._queue.popleft()
             self._inflight[cmd.command_id] = cmd
+        self._launch_chunk(cmd, msg, attempt=0)
         return now + 1 if self._queue else None
+
+    def _launch_chunk(self, cmd: DmaCommand, msg, attempt: int) -> None:
+        """Send one chunk's bus request, subject to injected faults.
+
+        A transient failure re-launches the chunk after exponential
+        backoff; retry exhaustion degrades it to
+        :meth:`_fallback_chunk`.  All of this perturbs timing only — the
+        request eventually carries the exact same payload.
+        """
+        inj = self._injector
+        if inj is None:
+            self._bus.send(self._endpoint, self._memory, msg)
+            return
+        if inj.dma_chunk_fails(self.name):
+            if attempt < inj.plan.dma_max_retries:
+                wait = inj.plan.backoff_cycles(attempt)
+                inj.stats.dma_retries += 1
+                inj.stats.dma_backoff_cycles += wait
+                self._trace("dma-chunk-retry", command=cmd.command_id,
+                            attempt=attempt, wait=wait)
+                self.engine.call_at(
+                    self.now + wait,
+                    lambda: self._launch_chunk(cmd, msg, attempt + 1),
+                )
+            else:
+                inj.stats.dma_fallbacks += 1
+                self._trace("dma-chunk-fallback", command=cmd.command_id)
+                self._fallback_chunk(cmd, msg)
+            return
+        delay = inj.dma_chunk_delay(self.name)
+        if delay:
+            self.engine.call_at(
+                self.now + delay,
+                lambda: self._bus.send(self._endpoint, self._memory, msg),
+            )
+        else:
+            self._bus.send(self._endpoint, self._memory, msg)
+
+    def _fallback_chunk(self, cmd: DmaCommand, msg) -> None:
+        """Retries exhausted: the DMA engine gives up on this chunk and the
+        owning thread effectively performs blocking scalar accesses instead.
+
+        Functionally the transfer still happens (same words, same
+        addresses); the cost is one serialized memory round-trip per word
+        — the scalar-READ price Sec. 4.3 says DMA exists to avoid.  The
+        chunk then completes through the normal tag mechanism, so the
+        thread never wedges.
+        """
+        if isinstance(msg, DmaWriteRequest):
+            for i, value in enumerate(msg.words):
+                self._memory.write_word(msg.addr + 4 * i, value)
+            words = len(msg.words)
+        else:
+            offset, _csize = cmd.chunks[msg.chunk_index]
+            if isinstance(msg, DmaGatherRequest):
+                data = tuple(
+                    self._memory.read_word(msg.addr + i * msg.stride)
+                    for i in range(msg.count)
+                )
+            else:
+                data = tuple(
+                    self._memory.read_word(msg.addr + 4 * i)
+                    for i in range(msg.size // 4)
+                )
+            self.ls.write_block(cmd.ls_addr + offset, data)
+            words = len(data)
+        finish = self.now + words * (self._memory.config.latency + 2)
+        self._chunk_done(cmd, finish)
 
     # -- response path ---------------------------------------------------------------
 
@@ -246,13 +316,24 @@ class MFC(Component):
             finish = when
         else:
             finish = self.now + 1
+        self._chunk_done(cmd, finish)
+
+    def _chunk_done(self, cmd: DmaCommand, finish: int) -> None:
+        """Retire one chunk; on the last, notify the LSE at ``finish``."""
         cmd.done_chunks += 1
         if cmd.complete:
             del self._inflight[cmd.command_id]
+            if self._sanitizer is not None and cmd.kind is DmaKind.GET:
+                self._sanitizer.dma_write_end(self.name, cmd.command_id)
             tid, tag = cmd.tid, cmd.tag
             self.engine.call_at(
                 finish, lambda: self._lse.dma_command_done(tid, tag)
             )
+
+    @property
+    def outstanding_commands(self) -> int:
+        """Commands queued or in flight (watchdog diagnostics)."""
+        return len(self._queue) + len(self._inflight)
 
     def describe_state(self) -> str:
         return (

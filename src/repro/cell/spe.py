@@ -64,14 +64,16 @@ class SPE(BusEndpoint):
         if self.cache is not None:
             engine.register(self.cache)
 
-    def wire(self, bus, memory, dse, machine) -> None:
+    def wire(self, bus, memory, dse, machine, injector=None,
+             sanitizer=None) -> None:
         self.spu.wire(lse=self.lse, mfc=self.mfc, bus=bus, memory=memory,
                       endpoint=self, cache=self.cache)
-        self.mfc.wire(bus=bus, memory=memory, lse=self.lse, endpoint=self)
+        self.mfc.wire(bus=bus, memory=memory, lse=self.lse, endpoint=self,
+                      injector=injector, sanitizer=sanitizer)
         if self.cache is not None:
             self.cache.wire(bus=bus, memory=memory, endpoint=self)
         self.lse.wire(bus=bus, dse=dse, spu=self.spu, mfc=self.mfc,
-                      endpoint=self, machine=machine)
+                      endpoint=self, machine=machine, sanitizer=sanitizer)
 
     # -- bus endpoint routing -----------------------------------------------
 

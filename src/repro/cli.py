@@ -47,11 +47,26 @@ from repro.sim.stats import Bucket
 __all__ = ["main", "build_parser"]
 
 
+def _apply_robustness(cfg: MachineConfig, args: argparse.Namespace) -> MachineConfig:
+    """Fold ``--faults`` / ``--sanitize`` into a machine config."""
+    spec = getattr(args, "faults", None)
+    if spec:
+        from repro.faults import FaultPlanError
+
+        try:
+            cfg = cfg.with_faults(spec)
+        except FaultPlanError as exc:
+            raise SystemExit(f"--faults: {exc}")
+    if getattr(args, "sanitize", False):
+        cfg = cfg.replace(sanitize=True)
+    return cfg
+
+
 def _config(args: argparse.Namespace) -> MachineConfig:
     cfg = paper_config(num_spes=args.spes)
     if args.latency is not None:
         cfg = cfg.with_latency(args.latency)
-    return cfg
+    return _apply_robustness(cfg, args)
 
 
 def _cache(args: argparse.Namespace):
@@ -91,6 +106,8 @@ def _print_run(label: str, run) -> None:
               mix["WRITE"]]],
         )
     )
+    if run.config.faults.active:
+        print(f"faults: {run.stats.faults.summary()}")
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -122,7 +139,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         cfg = paper_config(n)
         if args.latency is not None:
             cfg = cfg.with_latency(args.latency)
-        return cfg
+        return _apply_robustness(cfg, args)
 
     scaling = sweep(
         build, spes=tuple(args.spes), config_for=config_for,
@@ -281,6 +298,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "or 'default')")
         p.add_argument("--threshold", type=float, default=0.5,
                        help="prefetch worthwhileness threshold")
+        p.add_argument("--faults", default=None, metavar="SPEC",
+                       help="inject seeded faults, e.g. "
+                            "seed=3,dma_drop=0.05,bus_dup=0.02 "
+                            "(timing-only; results stay bit-identical)")
+        p.add_argument("--sanitize", action="store_true",
+                       help="enable the invariant sanitizer (SC underflow, "
+                            "frame double-free, DMA overlap, exactly-once "
+                            "delivery)")
 
     def parallel_opts(p):
         p.add_argument("--jobs", "-j", type=int, default=None,

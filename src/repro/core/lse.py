@@ -132,14 +132,17 @@ class LSE(Component):
         self._machine: "Machine | None" = None
         self._falloc_seq = 0
         self._pending_falloc_rd: dict[int, None] = {}
+        self._sanitizer = None  # optional Sanitizer
 
-    def wire(self, bus, dse, spu, mfc, endpoint, machine) -> None:
+    def wire(self, bus, dse, spu, mfc, endpoint, machine,
+             sanitizer=None) -> None:
         self._bus = bus
         self._dse = dse
         self._spu = spu
         self._mfc = mfc
         self._endpoint = endpoint
         self._machine = machine
+        self._sanitizer = sanitizer
 
     # -- queue plumbing -----------------------------------------------------
 
@@ -468,6 +471,8 @@ class LSE(Component):
             created_at=now,
         )
         if frame is not None:
+            if self._sanitizer is not None:
+                self._sanitizer.frame_assigned(self.name, frame.addr)
             frame.assign(tid)
             self._thread_by_frame[frame.addr] = thread
         self.threads[tid] = thread
@@ -518,6 +523,8 @@ class LSE(Component):
                         f"{self.name}: store to stale virtual frame"
                     )
                 self._virtual_stores[addr][slot] = value
+                if self._sanitizer is not None:
+                    self._sanitizer.sc_decrement(self.name, thread.tid, thread.sc)
                 thread.count_store()
                 return
         frame = self._frame_by_addr.get(addr)
@@ -533,6 +540,8 @@ class LSE(Component):
         self.ls.write_word(addr + 4 * slot, value)
         self.ls.reserve_port(self.now)
         frame.writes += 1
+        if self._sanitizer is not None:
+            self._sanitizer.sc_decrement(self.name, thread.tid, thread.sc)
         if thread.count_store():
             thread.transition(ThreadState.READY)
             self._make_ready(thread)
@@ -578,6 +587,8 @@ class LSE(Component):
     def _release_frame(self, thread: ThreadInstance) -> None:
         assert thread.frame_addr is not None
         frame = self._frame_by_addr[thread.frame_addr]
+        if self._sanitizer is not None:
+            self._sanitizer.frame_released(self.name, frame.addr)
         frame.release()
         del self._thread_by_frame[thread.frame_addr]
         thread.frame_addr = None
@@ -615,6 +626,8 @@ class LSE(Component):
     def _bind_virtual(self, vaddr: int, thread: ThreadInstance, frame: Frame) -> None:
         del self._virtual[vaddr]
         pending = self._virtual_stores.pop(vaddr)
+        if self._sanitizer is not None:
+            self._sanitizer.frame_assigned(self.name, frame.addr)
         frame.assign(thread.tid)
         thread.frame_addr = frame.addr
         self._thread_by_frame[frame.addr] = thread
@@ -658,6 +671,10 @@ class LSE(Component):
     @property
     def free_frame_count(self) -> int:
         return len(self._free_frames)
+
+    @property
+    def ready_depth(self) -> int:
+        return len(self._ready)
 
     def describe_state(self) -> str:
         return (

@@ -1,0 +1,28 @@
+"""Deterministic fault injection for the CellDTA simulator.
+
+The paper's claim is that DMA prefetching keeps DTA execution
+*non-blocking*; this package perturbs the simulated hardware to show the
+claim degrades gracefully rather than resting on a perfect machine.  A
+:class:`FaultPlan` is a seeded, declarative description of the faults to
+inject — extra DMA chunk delays, transient chunk failures (bounded retry
+with exponential backoff), permanent chunk failures (the MFC degrades the
+chunk to blocking word-granularity reads), bus transfer delays and
+duplicate deliveries (absorbed by idempotent delivery), and transient
+main-memory stalls.  A :class:`FaultInjector` turns the plan into
+per-site deterministic decision streams.
+
+The cardinal invariant: **faults change timing only, never architectural
+results**.  Every injected perturbation delays or repeats work; none may
+drop, corrupt or reorder a value in a way a race-free DTA program can
+observe.  Chaos tests (``tests/integration/test_faults.py``) assert
+bit-identical outputs against fault-free runs for every paper benchmark
+over a seed matrix.
+
+See ``docs/FAULTS.md`` for the fault model, CLI flags and the
+determinism guarantee.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultPlanError
+
+__all__ = ["FaultPlan", "FaultPlanError", "FaultInjector"]

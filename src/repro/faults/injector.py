@@ -1,0 +1,90 @@
+"""Seeded fault decision streams.
+
+One :class:`FaultInjector` is shared by every component of a machine.
+Each injection *site* (one MFC, the bus, main memory) draws from its own
+``random.Random`` stream seeded with ``(plan.seed, site name)``:
+
+* determinism — the simulator dispatches events in a fixed order, so a
+  given ``(plan, seed)`` always produces the same fault sequence and
+  therefore a bit-identical cycle count;
+* stability — because streams are per-site, the faults one component
+  sees do not shift when an unrelated component makes more or fewer
+  draws (e.g. a config change on another SPE).
+
+The injector owns the machine's :class:`~repro.sim.stats.FaultStats`;
+components count their recovery actions (retries, fallbacks) into the
+same object so one counter block tells the whole story.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.faults.plan import FaultPlan
+from repro.sim.stats import FaultStats
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Turns a :class:`FaultPlan` into deterministic per-site decisions."""
+
+    def __init__(self, plan: FaultPlan, stats: FaultStats | None = None) -> None:
+        self.plan = plan
+        self.stats = stats if stats is not None else FaultStats()
+        self._rngs: dict[str, random.Random] = {}
+
+    def _rng(self, site: str) -> random.Random:
+        rng = self._rngs.get(site)
+        if rng is None:
+            rng = self._rngs[site] = random.Random(f"{self.plan.seed}:{site}")
+        return rng
+
+    def _fires(self, site: str, prob: float) -> bool:
+        # Draw even for prob 0/1 so enabling one fault kind never shifts
+        # another kind's stream at the same site.
+        return self._rng(site).random() < prob
+
+    # -- MFC sites -----------------------------------------------------------
+
+    def dma_chunk_delay(self, site: str) -> int:
+        """Extra cycles before a chunk's bus request is sent (0 = none)."""
+        if not self._fires(site, self.plan.dma_delay):
+            return 0
+        self.stats.dma_delays += 1
+        self.stats.dma_delay_cycles += self.plan.dma_delay_cycles
+        return self.plan.dma_delay_cycles
+
+    def dma_chunk_fails(self, site: str) -> bool:
+        """Whether this chunk attempt transiently fails."""
+        if not self._fires(site, self.plan.dma_drop):
+            return False
+        self.stats.dma_drops += 1
+        return True
+
+    # -- bus sites -----------------------------------------------------------
+
+    def bus_transfer_delay(self) -> int:
+        """Extra cycles added to one transfer's delivery (0 = none)."""
+        if not self._fires("bus", self.plan.bus_delay):
+            return 0
+        self.stats.bus_delays += 1
+        self.stats.bus_delay_cycles += self.plan.bus_delay_cycles
+        return self.plan.bus_delay_cycles
+
+    def bus_duplicate(self) -> bool:
+        """Whether one transfer is delivered twice."""
+        if not self._fires("bus", self.plan.bus_dup):
+            return False
+        self.stats.bus_duplicates += 1
+        return True
+
+    # -- main-memory sites ---------------------------------------------------
+
+    def mem_stall(self) -> int:
+        """Extra latency cycles for one request's service (0 = none)."""
+        if not self._fires("memory", self.plan.mem_stall):
+            return 0
+        self.stats.mem_stalls += 1
+        self.stats.mem_stall_cycles += self.plan.mem_stall_cycles
+        return self.plan.mem_stall_cycles

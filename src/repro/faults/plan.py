@@ -1,0 +1,139 @@
+"""The declarative fault specification.
+
+A :class:`FaultPlan` is a frozen dataclass, so it hashes, compares and
+``dataclasses.asdict``-serializes like every other piece of
+:class:`~repro.sim.config.MachineConfig` — which is what makes fault
+specs participate in bench cache keys for free: a faulted run can never
+serve (or be served by) a fault-free cached result.
+
+Plans are usually written on the command line::
+
+    python -m repro run mmul --faults seed=3,dma_drop=0.05,bus_dup=0.02
+
+``FaultPlan.parse`` accepts that comma-separated ``key=value`` syntax;
+every key is a field of the dataclass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["FaultPlan", "FaultPlanError"]
+
+
+class FaultPlanError(ValueError):
+    """A malformed fault specification string or field value."""
+
+
+#: Fields holding probabilities (validated to [0, 1]).
+_PROB_FIELDS = ("dma_delay", "dma_drop", "bus_delay", "bus_dup", "mem_stall")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of every fault the injector may fire.
+
+    All probabilities default to 0.0 — the default plan is inert and a
+    machine built with it behaves bit-identically to one built before
+    fault injection existed.
+    """
+
+    #: Master seed; every injection site derives its own RNG stream from
+    #: ``(seed, site name)`` so per-component fault sequences do not
+    #: depend on cross-component event interleaving.
+    seed: int = 0
+
+    # -- MFC DMA chunk faults ------------------------------------------------
+    #: Probability a DMA chunk's bus request is issued late.
+    dma_delay: float = 0.0
+    #: Extra cycles for a delayed chunk issue.
+    dma_delay_cycles: int = 40
+    #: Probability a DMA chunk attempt transiently fails (MFC retries).
+    dma_drop: float = 0.0
+    #: Bounded retries per chunk before the failure is permanent.
+    dma_max_retries: int = 4
+    #: Base backoff in cycles; attempt ``k`` waits ``dma_backoff << k``.
+    dma_backoff: int = 8
+
+    # -- bus faults ----------------------------------------------------------
+    #: Probability a transfer is delivered late.
+    bus_delay: float = 0.0
+    #: Extra cycles for a delayed transfer.
+    bus_delay_cycles: int = 16
+    #: Probability a transfer is delivered twice (idempotently absorbed).
+    bus_dup: float = 0.0
+
+    # -- main memory faults --------------------------------------------------
+    #: Probability a request's service transiently stalls.
+    mem_stall: float = 0.0
+    #: Extra latency cycles for a stalled request.
+    mem_stall_cycles: int = 60
+
+    def __post_init__(self) -> None:
+        for name in _PROB_FIELDS:
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise FaultPlanError(
+                    f"{name} must be a probability in [0, 1], got {p}"
+                )
+        for name in ("dma_delay_cycles", "bus_delay_cycles",
+                     "mem_stall_cycles"):
+            if getattr(self, name) < 0:
+                raise FaultPlanError(
+                    f"{name} must be >= 0, got {getattr(self, name)}"
+                )
+        if self.dma_max_retries < 0:
+            raise FaultPlanError(
+                f"dma_max_retries must be >= 0, got {self.dma_max_retries}"
+            )
+        if self.dma_backoff < 1:
+            raise FaultPlanError(
+                f"dma_backoff must be >= 1 cycle, got {self.dma_backoff}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """True when any fault can actually fire."""
+        return any(getattr(self, name) > 0.0 for name in _PROB_FIELDS)
+
+    def backoff_cycles(self, attempt: int) -> int:
+        """Exponential backoff before re-issuing a failed chunk."""
+        return self.dma_backoff << min(attempt, self.dma_max_retries)
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from ``key=value,key=value`` CLI syntax."""
+        known = {f.name: f.type for f in fields(cls)}
+        kwargs: dict[str, object] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, raw = part.partition("=")
+            key = key.strip()
+            if not sep or key not in known:
+                raise FaultPlanError(
+                    f"bad fault spec item {part!r}; known keys: "
+                    f"{', '.join(sorted(known))}"
+                )
+            try:
+                # Probability fields take floats, everything else ints.
+                value: object = (
+                    float(raw) if key in _PROB_FIELDS else int(raw, 0)
+                )
+            except ValueError:
+                raise FaultPlanError(
+                    f"bad value {raw!r} for fault key {key!r}"
+                ) from None
+            kwargs[key] = value
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def describe(self) -> str:
+        """Compact one-line rendering of the non-default fields."""
+        default = FaultPlan()
+        parts = [
+            f"{f.name}={getattr(self, f.name)}"
+            for f in fields(self)
+            if getattr(self, f.name) != getattr(default, f.name)
+        ]
+        return ",".join(parts) if parts else "inactive"

@@ -10,14 +10,18 @@ from repro.sim.config import (
     MainMemoryConfig,
     MFCConfig,
     SPUConfig,
+    WatchdogConfig,
     latency1_config,
     paper_config,
 )
 from repro.sim.engine import Engine, SimulationDeadlock, SimulationLimitExceeded
+from repro.sim.sanitize import InvariantViolation, Sanitizer
+from repro.sim.watchdog import ProgressWatchdog, SimulationLivelock
 from repro.sim.trace import TraceEvent, Tracer
 from repro.sim.stats import (
     Bucket,
     BusStats,
+    FaultStats,
     InstructionMix,
     MachineStats,
     MemoryStats,
@@ -32,6 +36,10 @@ __all__ = [
     "Engine",
     "SimulationDeadlock",
     "SimulationLimitExceeded",
+    "SimulationLivelock",
+    "ProgressWatchdog",
+    "Sanitizer",
+    "InvariantViolation",
     "Tracer",
     "TraceEvent",
     "MachineConfig",
@@ -42,6 +50,7 @@ __all__ = [
     "SPUConfig",
     "LSEConfig",
     "DSEConfig",
+    "WatchdogConfig",
     "paper_config",
     "latency1_config",
     "Bucket",
@@ -52,5 +61,6 @@ __all__ = [
     "MemoryStats",
     "MFCStats",
     "SchedulerStats",
+    "FaultStats",
     "MachineStats",
 ]

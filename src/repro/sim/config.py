@@ -23,6 +23,8 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 
+from repro.faults.plan import FaultPlan
+
 __all__ = [
     "MainMemoryConfig",
     "LocalStoreConfig",
@@ -32,6 +34,7 @@ __all__ = [
     "CacheConfig",
     "LSEConfig",
     "DSEConfig",
+    "WatchdogConfig",
     "MachineConfig",
     "paper_config",
     "latency1_config",
@@ -304,6 +307,36 @@ class DSEConfig:
 
 
 @dataclass(frozen=True)
+class WatchdogConfig:
+    """Progress watchdog (see :mod:`repro.sim.watchdog`).
+
+    Enabled by default: the watchdog is pure observation — it never
+    perturbs component timing — and turns a run that would silently burn
+    to ``max_cycles`` into a rich :class:`~repro.sim.watchdog.SimulationLivelock`
+    report as soon as forward progress (threads retired + instructions
+    committed) stops for ``stall_cycles``.
+    """
+
+    enabled: bool = True
+    #: Cycles between progress samples (each sample is one engine event).
+    interval: int = 5_000
+    #: Raise when no forward progress for this many cycles.  Must dwarf
+    #: any legitimate stall (memory latency is ~150 cycles).
+    stall_cycles: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise ValueError(
+                f"watchdog interval must be >= 1 cycle, got {self.interval}"
+            )
+        if self.stall_cycles < self.interval:
+            raise ValueError(
+                f"watchdog stall_cycles ({self.stall_cycles}) must be >= "
+                f"its sampling interval ({self.interval})"
+            )
+
+
+@dataclass(frozen=True)
 class MachineConfig:
     """Complete CellDTA machine description."""
 
@@ -321,6 +354,11 @@ class MachineConfig:
     lse: LSEConfig = field(default_factory=LSEConfig)
     dse: DSEConfig = field(default_factory=DSEConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
+    #: Deterministic fault plan (inert by default; see :mod:`repro.faults`).
+    faults: FaultPlan = field(default_factory=FaultPlan)
+    #: Opt-in invariant sanitizer (see :mod:`repro.sim.sanitize`).
+    sanitize: bool = False
+    watchdog: WatchdogConfig = field(default_factory=WatchdogConfig)
 
     def __post_init__(self) -> None:
         if self.num_spes < 1:
@@ -356,6 +394,12 @@ class MachineConfig:
     def with_spes(self, num_spes: int) -> "MachineConfig":
         """Return a copy with ``num_spes`` SPEs."""
         return self.replace(num_spes=num_spes)
+
+    def with_faults(self, faults: "FaultPlan | str") -> "MachineConfig":
+        """Return a copy running under ``faults`` (a plan or CLI spec)."""
+        if isinstance(faults, str):
+            faults = FaultPlan.parse(faults)
+        return self.replace(faults=faults)
 
     def node_of(self, spe_id: int) -> int:
         """Node index hosting SPE ``spe_id`` (even block partition)."""

@@ -118,10 +118,7 @@ class Engine:
                 raise SimulationDeadlock(self._deadlock_report())
             cycle = heap[0][0]
             if max_cycles is not None and cycle > max_cycles:
-                raise SimulationLimitExceeded(
-                    f"exceeded max_cycles={max_cycles} at cycle {self._now}\n"
-                    + self._deadlock_report()
-                )
+                raise SimulationLimitExceeded(self._limit_report(max_cycles))
             self._now = cycle
             # Dispatch every event scheduled for this cycle, in
             # (priority, seq) order.  Nothing dispatched here can add
@@ -152,15 +149,52 @@ class Engine:
 
     # -- diagnostics -------------------------------------------------------
 
+    def _component_states(self) -> list[str]:
+        lines = ["component states:"]
+        for comp in self._components:
+            lines.append(f"  {comp.name}: {comp.describe_state()}")
+        return lines
+
     def _deadlock_report(self) -> str:
         lines = [
             f"simulation deadlock at cycle {self._now}: event queue drained "
             f"before the stop condition was met",
-            "component states:",
         ]
-        for comp in self._components:
-            lines.append(f"  {comp.name}: {comp.describe_state()}")
+        lines.extend(self._component_states())
         return "\n".join(lines)
+
+    def _limit_report(self, max_cycles: int) -> str:
+        # Distinct from the deadlock report: here the queue is NOT drained —
+        # events are still pending, the run just outlived its budget.
+        lines = [
+            f"exceeded max_cycles={max_cycles} at cycle {self._now} with "
+            f"events still pending",
+        ]
+        lines.extend(self._component_states())
+        pending = self.peek_events(8)
+        if pending:
+            lines.append("next pending events:")
+            lines.extend(f"  {line}" for line in pending)
+        return "\n".join(lines)
+
+    def peek_events(self, limit: int = 8) -> list[str]:
+        """The next ``limit`` queued events, formatted, in dispatch order."""
+        live = [
+            (cycle, prio, seq, target)
+            for cycle, prio, seq, target in self._heap
+            if not (
+                isinstance(target, Component) and target._scheduled_at != cycle
+            )
+        ]
+        live.sort()
+        lines = []
+        for cycle, _prio, _seq, target in live[:limit]:
+            if isinstance(target, Component):
+                lines.append(f"cycle {cycle}: tick {target.name}")
+            else:
+                name = getattr(target, "__qualname__", repr(target))
+                lines.append(f"cycle {cycle}: callback {name}")
+        return lines
 
     def pending_events(self) -> Iterable[tuple[int, object]]:
         """(cycle, target) pairs currently queued, unordered (for tests)."""

@@ -1,0 +1,110 @@
+"""Opt-in invariant sanitizer.
+
+The simulator's components already fail loudly on many protocol
+violations (``LifecycleError`` on SC underflow, ``Frame.release`` on a
+free frame).  The sanitizer is an *independent* cross-check layer: it
+keeps its own shadow state and verifies, from outside the component, the
+invariants the DTA protocol relies on:
+
+* a thread's Synchronization Counter is never decremented below zero;
+* a frame is never freed twice, nor assigned while already assigned;
+* two in-flight DMA commands never write overlapping Local Store ranges
+  on the same SPE;
+* every bus transfer is delivered to its endpoint exactly once (the
+  fault injector may *duplicate* transfers — the bus must absorb the
+  duplicates before they reach an endpoint).
+
+It is opt-in (``MachineConfig.sanitize`` / ``repro ... --sanitize``)
+because the shadow state costs memory and every hook costs time.  A
+violation raises :class:`InvariantViolation` immediately, at the cycle
+and site where the invariant broke.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Sanitizer", "InvariantViolation"]
+
+
+class InvariantViolation(RuntimeError):
+    """A protocol invariant the simulator relies on was broken."""
+
+
+class Sanitizer:
+    """Shadow-state invariant checker shared by a machine's components."""
+
+    def __init__(self) -> None:
+        #: site -> set of currently-assigned frame addresses.
+        self._frames: dict[str, set[int]] = {}
+        #: site -> command_id -> (start, end) of the in-flight LS write.
+        self._dma: dict[str, dict[int, tuple[int, int]]] = {}
+        #: bus-transfer sequence numbers already delivered.
+        self._delivered: set[int] = set()
+        #: Total hook invocations (lets tests assert the sanitizer ran).
+        self.checks = 0
+
+    # -- synchronization counters -------------------------------------------
+
+    def sc_decrement(self, site: str, tid: int, sc_before: int) -> None:
+        """About to decrement thread ``tid``'s SC, currently ``sc_before``."""
+        self.checks += 1
+        if sc_before <= 0:
+            raise InvariantViolation(
+                f"{site}: SC underflow — store would decrement thread "
+                f"{tid}'s synchronization counter below zero "
+                f"(sc={sc_before})"
+            )
+
+    # -- frame lifecycle ----------------------------------------------------
+
+    def frame_assigned(self, site: str, addr: int) -> None:
+        self.checks += 1
+        assigned = self._frames.setdefault(site, set())
+        if addr in assigned:
+            raise InvariantViolation(
+                f"{site}: frame @{addr:#x} assigned while already assigned"
+            )
+        assigned.add(addr)
+
+    def frame_released(self, site: str, addr: int) -> None:
+        self.checks += 1
+        assigned = self._frames.setdefault(site, set())
+        if addr not in assigned:
+            raise InvariantViolation(
+                f"{site}: double free of frame @{addr:#x} "
+                f"(not currently assigned)"
+            )
+        assigned.discard(addr)
+
+    # -- DMA local-store writes ---------------------------------------------
+
+    def dma_write_begin(
+        self, site: str, command_id: int, ls_addr: int, size: int
+    ) -> None:
+        """A DMA GET command will write LS ``[ls_addr, ls_addr+size)``."""
+        self.checks += 1
+        inflight = self._dma.setdefault(site, {})
+        end = ls_addr + size
+        for other_id, (o_start, o_end) in inflight.items():
+            if ls_addr < o_end and o_start < end:
+                raise InvariantViolation(
+                    f"{site}: DMA command {command_id} writes LS "
+                    f"[{ls_addr:#x}, {end:#x}) overlapping in-flight "
+                    f"command {other_id} [{o_start:#x}, {o_end:#x})"
+                )
+        inflight[command_id] = (ls_addr, end)
+
+    def dma_write_end(self, site: str, command_id: int) -> None:
+        self.checks += 1
+        self._dma.setdefault(site, {}).pop(command_id, None)
+
+    # -- bus delivery -------------------------------------------------------
+
+    def message_delivered(self, seq: int) -> None:
+        """Transfer ``seq`` just reached its endpoint's ``deliver``."""
+        self.checks += 1
+        if seq in self._delivered:
+            raise InvariantViolation(
+                f"bus transfer #{seq} delivered more than once "
+                f"(duplicate not absorbed)"
+            )
+        self._delivered.add(seq)

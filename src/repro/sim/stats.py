@@ -33,6 +33,7 @@ __all__ = [
     "MemoryStats",
     "MFCStats",
     "SchedulerStats",
+    "FaultStats",
     "MachineStats",
 ]
 
@@ -246,6 +247,58 @@ class SchedulerStats:
 
 
 @dataclass
+class FaultStats:
+    """Injected-fault and recovery counters (see :mod:`repro.faults`).
+
+    All zeros when no fault plan is active; under faults these are the
+    evidence that perturbations actually fired and were absorbed — the
+    chaos tests require them nonzero while architectural outputs stay
+    bit-identical to the fault-free run.
+    """
+
+    #: DMA chunk issues delayed, and the cycles added.
+    dma_delays: int = 0
+    dma_delay_cycles: int = 0
+    #: Transient DMA chunk failures injected.
+    dma_drops: int = 0
+    #: Chunk re-issues performed after a transient failure.
+    dma_retries: int = 0
+    #: Cycles spent in exponential backoff before retries.
+    dma_backoff_cycles: int = 0
+    #: Chunks that exhausted retries and fell back to blocking reads.
+    dma_fallbacks: int = 0
+    #: Bus transfers delivered late, and the cycles added.
+    bus_delays: int = 0
+    bus_delay_cycles: int = 0
+    #: Bus transfers duplicated, and duplicates absorbed on delivery.
+    bus_duplicates: int = 0
+    bus_duplicates_absorbed: int = 0
+    #: Main-memory requests stalled, and the cycles added.
+    mem_stalls: int = 0
+    mem_stall_cycles: int = 0
+
+    @property
+    def any_fired(self) -> bool:
+        return any(
+            getattr(self, f) > 0
+            for f in ("dma_delays", "dma_drops", "bus_delays",
+                      "bus_duplicates", "mem_stalls")
+        )
+
+    def summary(self) -> str:
+        """One-line counter rendering for reports."""
+        return (
+            f"dma: {self.dma_delays} delayed / {self.dma_drops} dropped / "
+            f"{self.dma_retries} retried / {self.dma_fallbacks} fell back "
+            f"({self.dma_backoff_cycles} backoff cycles); "
+            f"bus: {self.bus_delays} delayed / {self.bus_duplicates} "
+            f"duplicated ({self.bus_duplicates_absorbed} absorbed); "
+            f"memory: {self.mem_stalls} stalled "
+            f"(+{self.mem_stall_cycles} cycles)"
+        )
+
+
+@dataclass
 class MachineStats:
     """Everything a run produces, aggregated over the machine."""
 
@@ -255,6 +308,7 @@ class MachineStats:
     memory: MemoryStats = field(default_factory=MemoryStats)
     mfc: MFCStats = field(default_factory=MFCStats)
     scheduler: SchedulerStats = field(default_factory=SchedulerStats)
+    faults: FaultStats = field(default_factory=FaultStats)
 
     @property
     def mix(self) -> InstructionMix:

@@ -1,0 +1,133 @@
+"""Progress watchdog: turn silent livelocks into loud, rich reports.
+
+The engine already converts a *drained* event queue into a
+:class:`~repro.sim.engine.SimulationDeadlock`.  The failure mode it
+cannot see is a **livelock**: components keep exchanging events (retries,
+polls, periodic ticks) so the queue never drains, yet no thread retires
+and no instruction commits — and the run silently burns to ``max_cycles``
+before anyone learns anything.
+
+:class:`ProgressWatchdog` is an ordinary engine-registered component that
+samples a *progress snapshot* (for a machine: threads retired and
+instructions committed) every ``interval`` cycles.  When the snapshot is
+unchanged for ``stall_cycles``, it raises :class:`SimulationLivelock`
+carrying a report with the stall window, the frozen snapshot, every
+component's ``describe_state`` and the next pending events — the same
+quality of diagnosis a deadlock gets, delivered long before the cycle
+limit.
+
+The watchdog is observation-only: it never wakes, blocks or messages
+another component, so enabling it cannot change a run's cycle count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.sim.component import Component
+from repro.sim.engine import SimulationDeadlock
+
+__all__ = ["ProgressWatchdog", "SimulationLivelock"]
+
+
+class SimulationLivelock(RuntimeError):
+    """Events kept flowing but no forward progress was made for N cycles."""
+
+
+class ProgressWatchdog(Component):
+    """Engine-registered monitor that detects absence of forward progress."""
+
+    priority = 90  # sample after every real component has ticked
+
+    def __init__(
+        self,
+        name: str,
+        interval: int,
+        stall_cycles: int,
+        progress: Callable[[], object],
+        done: Callable[[], bool] | None = None,
+        components: Sequence[Component] | None = None,
+        detail: Callable[[], str] | None = None,
+    ) -> None:
+        """``progress`` returns a comparable snapshot; any change counts
+        as forward progress.  ``done`` (when given) retires the watchdog —
+        it stops rescheduling so a post-run ``Engine.drain`` terminates.
+        ``components`` are described in the report (default: everything
+        registered with the engine); ``detail`` contributes extra report
+        lines (in-flight DMA, ready-queue depths, ...).
+        """
+        super().__init__(name)
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        if stall_cycles < interval:
+            raise ValueError(
+                f"stall_cycles ({stall_cycles}) must be >= interval "
+                f"({interval})"
+            )
+        self.interval = interval
+        self.stall_cycles = stall_cycles
+        self._progress = progress
+        self._done = done
+        self._components = components
+        self._detail = detail
+        self._last_snapshot: object = None
+        self._last_change = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Begin sampling (call once the component is registered)."""
+        self._last_change = self.now
+        self._started = True
+        self.wake(self.now + self.interval)
+
+    # -- component ---------------------------------------------------------
+
+    def tick(self, now: int) -> int | None:
+        if self._done is not None and self._done():
+            return None  # run finished; let the engine drain
+        if next(iter(self.engine.pending_events()), None) is None:
+            # Our own reschedule is all that keeps the queue non-empty:
+            # without us the engine would have raised SimulationDeadlock
+            # at this cycle.  Surface that immediately instead of waiting
+            # out the stall window.
+            raise SimulationDeadlock(self.engine._deadlock_report())
+        snapshot = self._progress()
+        if snapshot != self._last_snapshot:
+            self._last_snapshot = snapshot
+            self._last_change = now
+        elif now - self._last_change >= self.stall_cycles:
+            raise SimulationLivelock(self.report(now))
+        return now + self.interval
+
+    # -- diagnostics -------------------------------------------------------
+
+    def report(self, now: int) -> str:
+        lines = [
+            f"simulation livelock at cycle {now}: no forward progress "
+            f"for {now - self._last_change} cycles "
+            f"(snapshot frozen at {self._last_snapshot!r})",
+        ]
+        if self._detail is not None:
+            lines.append(self._detail())
+        components = (
+            self._components
+            if self._components is not None
+            else [c for c in self.engine.components if c is not self]
+        )
+        lines.append("component states:")
+        for comp in components:
+            lines.append(f"  {comp.name}: {comp.describe_state()}")
+        pending = self.engine.peek_events(8)
+        if pending:
+            lines.append("next pending events:")
+            lines.extend(f"  {line}" for line in pending)
+        return "\n".join(lines)
+
+    def describe_state(self) -> str:
+        if not self._started:
+            return "not started"
+        return (
+            f"last progress at cycle {self._last_change}, "
+            f"snapshot {self._last_snapshot!r}, "
+            f"sampling every {self.interval} cycles"
+        )

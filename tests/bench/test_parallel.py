@@ -5,7 +5,14 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.export import run_to_dict
-from repro.bench.parallel import RunTask, default_jobs, pair_tasks, run_many
+from repro.bench.cache import ResultCache
+from repro.bench.parallel import (
+    RunTask,
+    TaskFailure,
+    default_jobs,
+    pair_tasks,
+    run_many,
+)
 from repro.bench.runner import run_pair, sweep
 from repro.bench.scale import builders
 from repro.sim.config import paper_config
@@ -87,8 +94,50 @@ class TestFallbacks:
             RunTask(wl, paper_config(1), prefetch=False),
             RunTask(wl, paper_config(1), prefetch=True),
         ]
-        with pytest.raises(AssertionError, match="wrong output"):
+        with pytest.raises(TaskFailure, match="wrong output"):
             run_many(tasks, jobs=2)
+
+
+class TestFailureIsolation:
+    def _mixed_tasks(self):
+        """Three healthy pairs plus one whose oracle is sabotaged."""
+        good = matmul.build(n=4, threads=2)
+        bad = matmul.build(n=4, threads=4)
+        bad.oracle["C"][0] += 1
+        tasks = list(pair_tasks(good, paper_config(1)))
+        tasks.append(RunTask(bad, paper_config(1), prefetch=False))
+        tasks.extend(pair_tasks(good, paper_config(2)))
+        return tasks, tasks[2].label
+
+    @pytest.mark.parametrize("jobs", (1, 2))
+    def test_summary_names_the_failing_task(self, jobs):
+        tasks, bad_label = self._mixed_tasks()
+        with pytest.raises(TaskFailure) as exc:
+            run_many(tasks, jobs=jobs)
+        assert bad_label in str(exc.value)
+        assert "1 of 5 run(s) failed" in str(exc.value)
+        assert set(exc.value.failures) == {bad_label}
+        assert isinstance(exc.value.failures[bad_label], AssertionError)
+
+    def test_other_tasks_finish_and_are_cached(self, tmp_path):
+        # One bad run must not throw away the rest of the sweep: every
+        # healthy task completes and lands in the cache before the batch
+        # error is raised, so a fixed-up re-run costs 4 cache hits.
+        tasks, _ = self._mixed_tasks()
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.raises(TaskFailure):
+            run_many(tasks, jobs=1, cache=cache)
+        healthy = [t for i, t in enumerate(tasks) if i != 2]
+        assert all(cache.get(t.key()) is not None for t in healthy)
+
+    def test_progress_reports_the_failure(self):
+        tasks, bad_label = self._mixed_tasks()
+        messages: list[str] = []
+        with pytest.raises(TaskFailure):
+            run_many(tasks, jobs=1, progress=messages.append)
+        assert any(
+            bad_label in m and "AssertionError" in m for m in messages
+        )
 
 
 class TestKnobs:

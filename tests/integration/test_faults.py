@@ -1,0 +1,143 @@
+"""Chaos matrix: injected faults change timing, never results.
+
+The central guarantee of ``repro.faults`` is architectural transparency:
+for any seed, a faulted run must retire the same threads with the same
+memory contents as the fault-free run — only the cycle count (and the
+fault counters) may differ.  These tests drive the three paper
+benchmarks through a matrix of fault seeds and check exactly that.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.parallel import RunTask
+from repro.bench.scale import builders
+from repro.cell.machine import Machine
+from repro.compiler.passes import prefetch_transform
+from repro.faults.plan import FaultPlan, FaultPlanError
+from repro.sim.config import MachineConfig
+
+BENCHMARKS = ("bitcnt", "mmul", "zoom")
+SEEDS = (1, 2, 3)
+
+#: Every fault class enabled at once, aggressively enough to fire on
+#: test-scale runs but with bounded retries so fallbacks are reachable.
+CHAOS = ("dma_delay=0.1,dma_drop=0.08,bus_delay=0.05,bus_dup=0.05,"
+         "mem_stall=0.05,dma_max_retries=2")
+
+
+def _run(name: str, config: MachineConfig):
+    """Run the prefetch variant of ``name``; return (result, outputs)."""
+    workload = builders("test")[name]()
+    machine = Machine(config)
+    machine.load(prefetch_transform(workload.activity))
+    result = machine.run()
+    outputs = {obj: machine.read_global(obj) for obj in workload.oracle}
+    workload.verify(machine)
+    return result, outputs
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    """Fault-free reference runs, one per benchmark."""
+    return {name: _run(name, MachineConfig()) for name in BENCHMARKS}
+
+
+class TestChaosMatrix:
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_faults_change_timing_never_results(self, name, seed, baselines):
+        cfg = MachineConfig().with_faults(f"seed={seed},{CHAOS}")
+        result, outputs = _run(name, cfg)
+        clean, clean_outputs = baselines[name]
+
+        # Bit-identical architectural results.
+        assert outputs == clean_outputs
+        # Faults can only cost cycles, never save them.
+        assert result.cycles >= clean.cycles
+        # The spec is aggressive enough that something always fires.
+        assert result.stats.faults.any_fired
+        # Every transient failure was handled: retried or fell back.
+        f = result.stats.faults
+        if f.dma_drops:
+            assert f.dma_retries + f.dma_fallbacks > 0
+        # Duplicates never reach an endpoint twice.
+        assert f.bus_duplicates_absorbed == f.bus_duplicates
+
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_same_seed_is_bit_identical(self, name):
+        cfg = MachineConfig().with_faults(f"seed=1,{CHAOS}")
+        first, first_out = _run(name, cfg)
+        second, second_out = _run(name, cfg)
+        assert first.cycles == second.cycles
+        assert first.stats.faults == second.stats.faults
+        assert first_out == second_out
+
+    def test_permanent_failure_falls_back_without_wedging(self, baselines):
+        # Every chunk attempt fails: after dma_max_retries each command
+        # must fall back to blocking-read-equivalent timing and the run
+        # must still complete with correct outputs.
+        cfg = MachineConfig().with_faults("seed=3,dma_drop=1.0,"
+                                          "dma_max_retries=2")
+        result, outputs = _run("mmul", cfg)
+        clean, clean_outputs = baselines["mmul"]
+        assert outputs == clean_outputs
+        assert result.stats.faults.dma_fallbacks > 0
+        assert result.stats.faults.dma_retries > 0
+        assert result.cycles > clean.cycles
+
+    def test_sanitizer_holds_under_chaos(self):
+        cfg = (
+            MachineConfig()
+            .with_faults(f"seed=2,{CHAOS}")
+            .replace(sanitize=True)
+        )
+        result, _ = _run("mmul", cfg)  # InvariantViolation would escape
+        assert result.stats.faults.any_fired
+
+
+class TestCacheKeys:
+    def test_fault_specs_participate_in_result_keys(self):
+        workload = builders("test")["mmul"]()
+
+        def key(cfg):
+            return RunTask(workload, cfg, prefetch=True).key()
+
+        clean = MachineConfig()
+        faulted = clean.with_faults(f"seed=1,{CHAOS}")
+        reseeded = clean.with_faults(f"seed=2,{CHAOS}")
+        sanitized = clean.replace(sanitize=True)
+
+        keys = {key(clean), key(faulted), key(reseeded), key(sanitized)}
+        assert len(keys) == 4  # all distinct
+        assert key(faulted) == key(clean.with_faults(f"seed=1,{CHAOS}"))
+
+
+class TestFaultPlanParsing:
+    def test_round_trip(self):
+        plan = FaultPlan.parse("seed=7,dma_drop=0.25,bus_dup=0.5")
+        assert plan.seed == 7
+        assert plan.dma_drop == 0.25
+        assert plan.bus_dup == 0.5
+        assert plan.active
+
+    def test_default_plan_is_inert(self):
+        assert not FaultPlan().active
+        assert FaultPlan().describe() == "inactive"
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(FaultPlanError, match="known keys"):
+            FaultPlan.parse("seed=1,dma_teleport=0.5")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(FaultPlanError, match="bad value"):
+            FaultPlan.parse("dma_drop=lots")
+
+    def test_probability_range_enforced(self):
+        with pytest.raises(FaultPlanError, match="probability"):
+            FaultPlan.parse("dma_drop=1.5")
+
+    def test_backoff_must_be_positive(self):
+        with pytest.raises(FaultPlanError, match="dma_backoff"):
+            FaultPlan(dma_backoff=0)

@@ -223,3 +223,58 @@ class TestRunControl:
         eng.schedule(t, 7)
         pend = list(eng.pending_events())
         assert pend == [(7, t)]
+
+
+class TestDiagnostics:
+    def test_deadlock_report_says_queue_drained(self):
+        eng = Engine()
+        t = eng.register(Ticker("t", count=1))
+        eng.schedule(t, 1)
+        with pytest.raises(SimulationDeadlock) as exc:
+            eng.run(until=lambda: False)
+        text = str(exc.value)
+        assert "event queue drained" in text
+        assert "component states:" in text
+
+    def test_limit_report_does_not_claim_queue_drained(self):
+        # The old code reused the deadlock report here, falsely claiming
+        # "event queue drained" while events were in fact still pending.
+        eng = Engine()
+        t = eng.register(Ticker("t", period=10, count=1000))
+        eng.schedule(t, 1)
+        with pytest.raises(SimulationLimitExceeded) as exc:
+            eng.run(until=lambda: False, max_cycles=100)
+        text = str(exc.value)
+        assert "event queue drained" not in text
+        assert "exceeded max_cycles=100" in text
+        assert "events still pending" in text
+        assert "component states:" in text
+        assert "next pending events:" in text
+        assert "tick t" in text
+
+    def test_peek_events_orders_and_formats(self):
+        def named_callback() -> None:
+            pass
+
+        eng = Engine()
+        a = eng.register(Ticker("a", count=1))
+        b = eng.register(Ticker("b", count=1))
+        eng.schedule(a, 20)
+        eng.schedule(b, 5)
+        eng.call_at(10, named_callback)
+        lines = eng.peek_events()
+        assert len(lines) == 3
+        assert lines[0] == "cycle 5: tick b"
+        assert lines[1].startswith("cycle 10: callback ")
+        assert lines[1].endswith("named_callback")
+        assert lines[2] == "cycle 20: tick a"
+
+    def test_peek_events_skips_stale_entries_and_honours_limit(self):
+        eng = Engine()
+        t = eng.register(Ticker("t", count=1))
+        eng.schedule(t, 40)
+        eng.schedule(t, 12)  # supersedes: the cycle-40 entry goes stale
+        assert eng.peek_events() == ["cycle 12: tick t"]
+        for cycle in range(50, 60):
+            eng.call_at(cycle, lambda: None)
+        assert len(eng.peek_events(limit=4)) == 4
