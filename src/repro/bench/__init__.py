@@ -1,7 +1,17 @@
 """Experiment harness: runners, scales and paper-style reports."""
 
 from repro.bench.cache import ResultCache, default_cache, result_key
-from repro.bench.parallel import RunTask, default_jobs, pair_tasks, run_many
+from repro.bench.journal import JournalEntry, SweepJournal
+from repro.bench.parallel import (
+    BatchResult,
+    FailureInfo,
+    RunTask,
+    TaskFailure,
+    default_jobs,
+    pair_tasks,
+    run_many,
+    run_many_detailed,
+)
 from repro.bench.report import (
     breakdown_table,
     execution_table,
@@ -43,6 +53,12 @@ __all__ = [
     "result_key",
     "RunTask",
     "run_many",
+    "run_many_detailed",
     "pair_tasks",
     "default_jobs",
+    "TaskFailure",
+    "FailureInfo",
+    "BatchResult",
+    "SweepJournal",
+    "JournalEntry",
 ]

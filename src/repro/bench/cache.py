@@ -110,17 +110,47 @@ class ResultCache:
         self.misses = 0
         #: Results written since construction.
         self.stores = 0
+        #: Corrupt/stale entries quarantined to ``<key>.corrupt``.
+        self.corrupt = 0
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
 
+    def _quarantine(self, key: str) -> None:
+        """Move a corrupt entry aside so it is never re-parsed.
+
+        A truncated write (crash mid-store before the atomic rename ever
+        happened is impossible, but a torn disk or a stale class layout
+        is not) would otherwise be re-read and re-rejected on every
+        lookup of its key.  Renaming to ``<key>.corrupt`` keeps the bytes
+        for post-mortems while taking them out of the lookup path.
+        """
+        path = self._path(key)
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            return
+        self.corrupt += 1
+
     def get(self, key: str) -> RunResult | None:
-        """Return the cached result for ``key``, or ``None`` on a miss."""
+        """Return the cached result for ``key``, or ``None`` on a miss.
+
+        Entries that exist but cannot be unpickled (corrupt bytes, a
+        stale ``RunResult`` layout from before a refactor) are
+        quarantined to ``<key>.corrupt`` and counted in ``corrupt``.
+        """
         try:
             with open(self._path(key), "rb") as fh:
                 result = pickle.load(fh)
-        except (OSError, pickle.PickleError, EOFError, AttributeError,
-                ImportError, TypeError):
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError:
+            self.misses += 1
+            return None
+        except (pickle.PickleError, EOFError, AttributeError,
+                ImportError, TypeError, ValueError):
+            self._quarantine(key)
             self.misses += 1
             return None
         if not isinstance(result, RunResult):
@@ -146,7 +176,8 @@ class ResultCache:
         self.stores += 1
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (including quarantined ones); returns the
+        number of live entries removed."""
         removed = 0
         if self.root.is_dir():
             for path in self.root.glob("*.pkl"):
@@ -155,7 +186,22 @@ class ResultCache:
                     removed += 1
                 except OSError:
                     pass
+            for path in self.root.glob("*.corrupt"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
         return removed
+
+    def summary(self) -> str:
+        """One-line statistics for CLI status output."""
+        text = (
+            f"{self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.stores} store(s)"
+        )
+        if self.corrupt:
+            text += f", {self.corrupt} corrupt entr(ies) quarantined"
+        return text
 
     def __len__(self) -> int:
         if not self.root.is_dir():
@@ -165,7 +211,8 @@ class ResultCache:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ResultCache({str(self.root)!r}, hits={self.hits}, "
-            f"misses={self.misses}, stores={self.stores})"
+            f"misses={self.misses}, stores={self.stores}, "
+            f"corrupt={self.corrupt})"
         )
 
 

@@ -134,6 +134,10 @@ def reproduce_all(
     progress=None,
     jobs: int | None = None,
     cache=None,
+    timeout: "float | None" = None,
+    retries: "int | None" = None,
+    resume: bool = False,
+    keep_going: bool = False,
 ) -> dict:
     """Execute the full experiment matrix (Figures 5-9, Table 5, L1).
 
@@ -147,8 +151,20 @@ def reproduce_all(
     ``REPRO_BENCH_JOBS`` or serial) and a
     :class:`~repro.bench.cache.ResultCache` makes a re-run with
     unchanged code and parameters perform zero new simulations.
+
+    ``timeout``/``retries``/``resume`` are the resilience knobs of
+    :func:`~repro.bench.parallel.run_many_detailed`; ``resume=True``
+    continues an interrupted matrix from the sweep journal without
+    re-simulating settled tasks, producing output bit-identical to an
+    uninterrupted run.  With ``keep_going=True`` a permanently failing
+    task no longer aborts the batch: every experiment that *can* be
+    assembled from the surviving runs is emitted, and a ``degraded``
+    manifest section names each failed task (label, taxonomy kind,
+    attempts, last error).  Pairs with a failed half are dropped from
+    their experiment; a workload missing its max-SPE pair is dropped
+    from the Table 5 / Figure 5 / Figure 9 sections.
     """
-    from repro.bench.parallel import pair_tasks, run_many
+    from repro.bench.parallel import TaskFailure, pair_tasks, run_many_detailed
 
     def log(msg: str) -> None:
         if progress is not None:
@@ -172,18 +188,27 @@ def reproduce_all(
     log(f"running {len(tasks)} simulations "
         f"({len(workloads)} workloads x {len(axis)} SPE counts x 2 "
         f"variants + latency-1 study) ...")
-    runs = run_many(tasks, jobs=jobs, cache=cache, progress=progress)
+    batch = run_many_detailed(
+        tasks, jobs=jobs, cache=cache, progress=progress,
+        timeout=timeout, retries=retries, resume=resume,
+    )
+    if batch.failures and not keep_going:
+        raise TaskFailure.from_batch(tasks, batch.failures)
+    runs = batch.results
 
     scalings: dict[str, ScalingResult] = {
         name: ScalingResult(workload=name) for name in workloads
     }
     latency1_pairs: dict[str, PairResult] = {}
     for i, (experiment, name, n) in enumerate(slots):
+        base, prefetch = runs[2 * i], runs[2 * i + 1]
+        if base is None or prefetch is None:
+            continue  # a failed half degrades the whole pair
         pair = PairResult(
             workload=name,
             config=tasks[2 * i].config,
-            base=runs[2 * i],
-            prefetch=runs[2 * i + 1],
+            base=base,
+            prefetch=prefetch,
         )
         if experiment == "scaling":
             scalings[name].pairs[n] = pair
@@ -191,10 +216,11 @@ def reproduce_all(
             latency1_pairs[name] = pair
 
     result["experiments"]["scaling"] = {
-        name: scaling_to_dict(s) for name, s in scalings.items()
+        name: scaling_to_dict(s) for name, s in scalings.items() if s.pairs
     }
     pairs_at_max = {
-        name: s.pairs[max(axis)] for name, s in scalings.items()
+        name: s.pairs[max(axis)]
+        for name, s in scalings.items() if max(axis) in s.pairs
     }
     result["experiments"]["table5"] = {
         name: run_to_dict(p.base)["instructions"]
@@ -217,6 +243,20 @@ def reproduce_all(
     result["experiments"]["latency1"] = {
         name: pair_to_dict(pair) for name, pair in latency1_pairs.items()
     }
+    if batch.failures:
+        result["degraded"] = [
+            {
+                "label": tasks[i].label,
+                "kind": info.kind,
+                "attempts": info.attempts,
+                "error": f"{type(info.error).__name__}: {info.error}",
+            }
+            for i, info in sorted(batch.failures.items())
+        ]
+        log(
+            f"degraded result: {len(batch.failures)} of {len(tasks)} "
+            f"task(s) failed; partial artifacts emitted"
+        )
     return result
 
 

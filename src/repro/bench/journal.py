@@ -1,0 +1,194 @@
+"""Append-only sweep journal: the crash-recovery checkpoint of a batch.
+
+Long sweeps die for reasons that have nothing to do with the simulator —
+an OOM-killed worker, a Ctrl-C, a rebooted CI runner.  The
+:class:`SweepJournal` makes such an interruption cheap: every task that
+finishes (or permanently fails) inside :func:`repro.bench.parallel.run_many`
+appends one JSON line — task key, label, status, failure taxonomy,
+attempt count, duration — to a journal file living next to the result
+cache.  A later run with ``resume=True`` replays the journal and skips
+work that is already settled.
+
+Two properties keep the journal honest:
+
+* **It never fabricates results.**  A ``done`` entry is only a *claim*;
+  the actual :class:`~repro.cell.machine.RunResult` must still be
+  present in the :class:`~repro.bench.cache.ResultCache` under the same
+  key.  A journal whose cache entries have been cleared simply causes
+  re-simulation.
+* **It can never go stale silently.**  Task keys embed the code stamp
+  (a hash of every source file), the workload content digest and the
+  full machine configuration — any change produces disjoint keys, so
+  entries written by older code are never matched, merely ignored.
+
+The file is plain JSONL appended with ``O_APPEND`` semantics and
+fsync'd per record, so a batch killed mid-write loses at most the
+in-flight line; :meth:`SweepJournal.replay` skips malformed or
+unversioned lines instead of failing.  Journal I/O errors degrade to
+no-ops — checkpointing must never turn a runnable sweep into an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["JournalEntry", "SweepJournal"]
+
+#: Journal line format version; replay ignores lines with any other value.
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """The settled state of one task, as recorded in the journal."""
+
+    key: str
+    label: str
+    status: str  #: ``"done"`` or ``"failed"``
+    kind: str | None  #: failure taxonomy for ``failed`` entries
+    attempts: int
+    duration: float
+    error: str | None
+
+    @property
+    def done(self) -> bool:
+        return self.status == "done"
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "failed"
+
+
+class SweepJournal:
+    """Append-only JSONL checkpoint of a sweep's settled tasks."""
+
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
+        self.path = Path(path)
+        #: Records appended by this process (best-effort; I/O errors skip).
+        self.records = 0
+
+    @classmethod
+    def for_cache(cls, cache) -> "SweepJournal":
+        """The default journal: ``journal.jsonl`` next to the result cache."""
+        return cls(Path(cache.root) / "journal.jsonl")
+
+    def record_done(
+        self, key: str, label: str, attempts: int, duration: float
+    ) -> None:
+        """Checkpoint a completed task (its result lives in the cache)."""
+        self._append(
+            {
+                "v": _VERSION,
+                "key": key,
+                "label": label,
+                "status": "done",
+                "kind": None,
+                "attempts": attempts,
+                "duration": round(duration, 6),
+                "error": None,
+            }
+        )
+
+    def record_failed(
+        self,
+        key: str,
+        label: str,
+        kind: str,
+        attempts: int,
+        duration: float,
+        error: str,
+    ) -> None:
+        """Checkpoint a task that exhausted its retry budget."""
+        self._append(
+            {
+                "v": _VERSION,
+                "key": key,
+                "label": label,
+                "status": "failed",
+                "kind": kind,
+                "attempts": attempts,
+                "duration": round(duration, 6),
+                "error": error,
+            }
+        )
+
+    def _append(self, entry: dict) -> None:
+        line = json.dumps(entry, sort_keys=True).encode("utf-8")
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a+b") as fh:
+                # A crash can leave a torn line without its newline; a new
+                # record must not glue onto it (that would corrupt both).
+                fh.seek(0, os.SEEK_END)
+                if fh.tell() > 0:
+                    fh.seek(-1, os.SEEK_END)
+                    if fh.read(1) != b"\n":
+                        fh.write(b"\n")
+                fh.write(line + b"\n")
+                fh.flush()
+                try:
+                    os.fsync(fh.fileno())
+                except OSError:
+                    pass
+        except OSError:
+            return
+        self.records += 1
+
+    def replay(self) -> "dict[str, JournalEntry]":
+        """Last settled state per task key; ``{}`` for a missing journal.
+
+        Malformed lines (torn writes from a crash mid-append), entries of
+        other format versions and entries missing fields are skipped —
+        replay is best-effort by design, because the worst case is only
+        that a task re-runs.
+        """
+        entries: dict[str, JournalEntry] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError:
+            return entries
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(raw, dict) or raw.get("v") != _VERSION:
+                continue
+            try:
+                entry = JournalEntry(
+                    key=str(raw["key"]),
+                    label=str(raw["label"]),
+                    status=str(raw["status"]),
+                    kind=raw.get("kind"),
+                    attempts=int(raw["attempts"]),
+                    duration=float(raw.get("duration", 0.0)),
+                    error=raw.get("error"),
+                )
+            except (KeyError, TypeError, ValueError):
+                continue
+            if entry.status not in ("done", "failed"):
+                continue
+            entries[entry.key] = entry
+        return entries
+
+    def clear(self) -> None:
+        """Delete the journal file (best effort)."""
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        return len(self.replay())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SweepJournal({str(self.path)!r}, records={self.records})"
+        )

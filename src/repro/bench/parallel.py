@@ -1,4 +1,4 @@
-"""Parallel experiment execution.
+"""Parallel experiment execution with a resilience layer.
 
 Every experiment of the paper decomposes into independent simulated runs
 — one per (workload, SPE count, prefetch variant) — and the simulator is
@@ -14,22 +14,107 @@ The worker count comes from the ``jobs`` argument, falling back to the
 ``REPRO_BENCH_JOBS`` environment variable and then to 1 (serial).  Pool
 construction failures — missing ``/dev/shm`` semaphores in sandboxes,
 fork restrictions — degrade gracefully to the serial path.
+
+Resilience
+----------
+Production-scale sweeps must survive partial failure, so the pool path
+layers three defenses over plain fan-out:
+
+* **Timeouts.**  With a per-task wall-clock ``timeout`` (seconds; or
+  ``REPRO_BENCH_TASK_TIMEOUT``; default off) the *parent* watches every
+  outstanding future.  A task that exceeds its budget is declared hung:
+  the pool's workers are terminated (a running future cannot be
+  cancelled), unaffected tasks are resubmitted without losing a retry
+  attempt, and the hung task is retried with backoff or failed with
+  kind :data:`TIMEOUT`.  Setting a timeout forces the pool path even
+  for ``jobs=1`` so enforcement is always parent-side.
+* **Failure taxonomy + bounded retry.**  Failures are classified as
+  :data:`TIMEOUT` (wall-clock exceeded), :data:`CRASH` (the worker
+  process died — OOM kill, SIGKILL, ``BrokenProcessPool``) or
+  :data:`ERROR` (the task raised a deterministic exception).  Timeouts
+  and crashes are transient and retried up to ``retries`` times
+  (``REPRO_BENCH_RETRIES``, default 2) with exponential backoff;
+  deterministic errors fail fast and are never retried — re-running a
+  deterministic simulator on the same inputs cannot change the outcome.
+* **Crash recovery.**  ``BrokenProcessPool`` breaks every outstanding
+  future, not just the culprit's; the pool is rebuilt and surviving
+  tasks are resubmitted (each outstanding task is charged one attempt,
+  which bounds the damage a poison task can do to its retry budget).
+
+Completed tasks are checkpointed incrementally: results land in the
+cache *and* an append-only :class:`~repro.bench.journal.SweepJournal`
+the moment they finish, so a batch killed mid-flight — Ctrl-C, OOM, a
+rebooted runner — can be resumed (``resume=True``) without re-simulating
+settled work.  ``keep_going=True`` turns task failures from a raised
+:class:`TaskFailure` into ``None`` slots in the returned list, letting
+callers emit partial artifacts (see
+:func:`repro.bench.export.reproduce_all`).
 """
 
 from __future__ import annotations
 
+import heapq
 import os
-from dataclasses import dataclass
-from typing import Callable, Iterator, Sequence
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 from repro.bench.cache import ResultCache, result_key
+from repro.bench.journal import SweepJournal
 from repro.bench.runner import run_workload
 from repro.cell.machine import RunResult
 from repro.compiler.passes import PrefetchOptions
 from repro.sim.config import MachineConfig
 from repro.workloads.common import Workload
 
-__all__ = ["RunTask", "TaskFailure", "run_many", "default_jobs", "pair_tasks"]
+__all__ = [
+    "RunTask",
+    "TaskFailure",
+    "FailureInfo",
+    "BatchResult",
+    "TaskTimeout",
+    "WorkerCrash",
+    "TIMEOUT",
+    "CRASH",
+    "ERROR",
+    "run_many",
+    "run_many_detailed",
+    "default_jobs",
+    "default_task_timeout",
+    "default_retries",
+    "pair_tasks",
+]
+
+#: Failure taxonomy: the task exceeded its wall-clock budget.
+TIMEOUT = "timeout"
+#: Failure taxonomy: the worker process died (SIGKILL, OOM, broken pool).
+CRASH = "worker-crash"
+#: Failure taxonomy: the task raised a deterministic exception.
+ERROR = "error"
+
+
+class TaskTimeout(RuntimeError):
+    """A task exceeded its per-task wall-clock timeout."""
+
+
+class WorkerCrash(RuntimeError):
+    """The worker process executing a task died."""
+
+
+@dataclass
+class FailureInfo:
+    """How one task of a batch failed, after all retries."""
+
+    kind: str  #: :data:`TIMEOUT`, :data:`CRASH` or :data:`ERROR`
+    attempts: int  #: executions performed (1 = failed on first try)
+    error: Exception  #: the last exception observed
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} after {self.attempts} attempt(s): "
+            f"{type(self.error).__name__}: {self.error}"
+        )
 
 
 class TaskFailure(RuntimeError):
@@ -37,13 +122,44 @@ class TaskFailure(RuntimeError):
 
     Raised after every *other* task has been given the chance to finish
     (and be cached), so one bad run does not throw away a whole sweep's
-    work.  ``failures`` maps each failing task's label to the exception
-    it raised.
+    work.  ``failures`` maps each failing task's label to a
+    :class:`FailureInfo` carrying the failure taxonomy, the attempt
+    count and the last exception.
     """
 
-    def __init__(self, message: str, failures: "dict[str, Exception]") -> None:
+    def __init__(self, message: str, failures: "dict[str, FailureInfo]") -> None:
         super().__init__(message)
         self.failures = failures
+
+    @classmethod
+    def from_batch(
+        cls, tasks: "Sequence[RunTask]", failures: "dict[int, FailureInfo]"
+    ) -> "TaskFailure":
+        labels = ", ".join(tasks[i].label for i in sorted(failures))
+        first_i = min(failures)
+        first = failures[first_i]
+        return cls(
+            f"{len(failures)} of {len(tasks)} run(s) failed: {labels} — "
+            f"first failure ({tasks[first_i].label}): "
+            f"{type(first.error).__name__}: {first.error}",
+            {tasks[i].label: info for i, info in failures.items()},
+        )
+
+
+@dataclass
+class BatchResult:
+    """Everything :func:`run_many_detailed` knows about a finished batch."""
+
+    results: "list[RunResult | None]"  #: per-task results; ``None`` = failed
+    failures: "dict[int, FailureInfo]" = field(default_factory=dict)
+    attempts: "list[int]" = field(default_factory=list)
+    #: Tasks skipped because the journal (validated against the cache)
+    #: or a replayed deterministic failure already settled them.
+    resumed: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return not self.failures
 
 
 def default_jobs() -> int:
@@ -54,6 +170,26 @@ def default_jobs() -> int:
     except ValueError:
         return 1
     return max(1, jobs)
+
+
+def default_task_timeout() -> "float | None":
+    """Per-task timeout from ``REPRO_BENCH_TASK_TIMEOUT`` (default off)."""
+    raw = os.environ.get("REPRO_BENCH_TASK_TIMEOUT", "")
+    try:
+        timeout = float(raw)
+    except ValueError:
+        return None
+    return timeout if timeout > 0 else None
+
+
+def default_retries() -> int:
+    """Retry budget from ``REPRO_BENCH_RETRIES`` (default 2)."""
+    raw = os.environ.get("REPRO_BENCH_RETRIES", "")
+    try:
+        retries = int(raw)
+    except ValueError:
+        return 2
+    return max(0, retries)
 
 
 @dataclass(frozen=True)
@@ -84,6 +220,16 @@ class RunTask:
             self.max_cycles,
         )
 
+    def run(self) -> RunResult:
+        return run_workload(
+            self.workload,
+            self.config,
+            prefetch=self.prefetch,
+            options=self.options,
+            max_cycles=self.max_cycles,
+            verify=self.verify,
+        )
+
 
 def pair_tasks(
     workload: Workload,
@@ -101,40 +247,398 @@ def pair_tasks(
 
 def _execute(task: RunTask) -> RunResult:
     """Worker entry point (module-level so it pickles)."""
-    return run_workload(
-        task.workload,
-        task.config,
-        prefetch=task.prefetch,
-        options=task.options,
-        max_cycles=task.max_cycles,
-        verify=task.verify,
-    )
+    return task.run()
 
 
-def _run_pool(
-    tasks: Sequence[RunTask], pending: Sequence[int], jobs: int
-) -> "Iterator[tuple[int, RunResult | None, Exception | None]]":
-    """Yield ``(index, result, exception)`` as pool tasks finish.
+class _PoolUnavailable(Exception):
+    """Worker processes cannot be created; fall back to the serial path."""
 
-    A task that raises inside its worker yields ``(i, None, exc)`` so the
-    caller can record the failure and keep consuming the others — one bad
-    run must not kill the whole sweep.  :class:`BrokenProcessPool` (the
-    pool machinery itself died) propagates: those tasks are re-runnable
-    and the caller falls back to the serial path.
+
+def _kill_pool(pool) -> None:
+    """Terminate a pool's workers and reap it (best effort).
+
+    Used when a future must be abandoned: a running future cannot be
+    cancelled, so the only way to stop a hung or doomed task is to kill
+    the worker processes themselves.  ``_processes`` is private executor
+    state; if the layout ever changes we degrade to a plain shutdown.
     """
-    from concurrent.futures import ProcessPoolExecutor, as_completed
-    from concurrent.futures.process import BrokenProcessPool
+    try:
+        processes = list(getattr(pool, "_processes", {}).values())
+    except Exception:
+        processes = []
+    for proc in processes:
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=True, cancel_futures=True)
+    except Exception:
+        pass
 
-    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-        futures = {pool.submit(_execute, tasks[i]): i for i in pending}
-        for future in as_completed(futures):
-            i = futures[future]
+
+class _PoolDriver:
+    """Windowed pool execution with timeouts, retry and crash recovery.
+
+    At most ``jobs`` futures are outstanding at a time, so every
+    submitted future is actually *running* and its submit time is a
+    faithful start time for timeout accounting.  ``finish``/``fail``
+    callbacks mutate the caller's batch state; tasks awaiting a backoff
+    delay sit in a ready-time heap.
+    """
+
+    def __init__(
+        self,
+        tasks: "Sequence[RunTask]",
+        pending: "Sequence[int]",
+        jobs: int,
+        timeout: "float | None",
+        retries: int,
+        backoff: float,
+        attempts: "list[int]",
+        finish: "Callable[[int, RunResult, float], None]",
+        fail: "Callable[[int, Exception, str], None]",
+        progress: "Callable[[str], None] | None",
+    ) -> None:
+        self.tasks = tasks
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.attempts = attempts
+        self.finish = finish
+        self.fail = fail
+        self.progress = progress
+        self.queue: "deque[int]" = deque(sorted(pending))
+        self.delayed: "list[tuple[float, int]]" = []  # (ready_at, i) heap
+
+    def _log(self, msg: str) -> None:
+        if self.progress is not None:
+            self.progress(msg)
+
+    def _retry_delay(self, i: int) -> float:
+        # attempts[i] has already been charged for the failed attempt,
+        # so the first retry waits backoff * 1, the second backoff * 2, ...
+        return self.backoff * (2 ** max(0, self.attempts[i] - 1))
+
+    def _requeue_transient(self, i: int, kind: str, detail: str) -> None:
+        """Retry a timed-out/crashed task with backoff, or fail it."""
+        if self.attempts[i] > self.retries:
+            exc: Exception = (
+                TaskTimeout(detail) if kind == TIMEOUT else WorkerCrash(detail)
+            )
+            self.fail(i, exc, kind)
+            return
+        delay = self._retry_delay(i)
+        self._log(
+            f"{self.tasks[i].label}: {detail}; retrying in {delay:.1f}s "
+            f"(attempt {self.attempts[i] + 1} of {self.retries + 1})"
+        )
+        heapq.heappush(self.delayed, (time.monotonic() + delay, i))
+
+    def _drain_delayed(self, block: bool) -> None:
+        """Move backoff-expired tasks to the ready queue (sleep if asked)."""
+        while self.delayed:
+            ready_at, _ = self.delayed[0]
+            now = time.monotonic()
+            if ready_at <= now:
+                self.queue.append(heapq.heappop(self.delayed)[1])
+            elif block and not self.queue:
+                time.sleep(min(ready_at - now, self.backoff or 0.05))
+            else:
+                return
+
+    def _fill(self, pool, futures: dict, workers: int) -> None:
+        self._drain_delayed(block=False)
+        while self.queue and len(futures) < workers:
+            i = self.queue.popleft()
+            self.attempts[i] += 1
+            futures[pool.submit(_execute, self.tasks[i])] = (
+                i, time.monotonic(),
+            )
+
+    def _poll_interval(self, futures: dict) -> "float | None":
+        """How long ``wait`` may block before a deadline needs attention."""
+        now = time.monotonic()
+        horizons = []
+        if self.timeout is not None and futures:
+            earliest = min(t0 for _, t0 in futures.values())
+            horizons.append(earliest + self.timeout - now)
+        if self.delayed:
+            horizons.append(self.delayed[0][0] - now)
+        if not horizons:
+            return None
+        return max(0.01, min(horizons))
+
+    def _expire(self, futures: dict) -> bool:
+        """Handle futures past their deadline; True if the pool must die."""
+        if self.timeout is None:
+            return False
+        now = time.monotonic()
+        expired = [
+            (f, i) for f, (i, t0) in futures.items()
+            if now - t0 >= self.timeout
+        ]
+        if not expired:
+            return False
+        for f, i in expired:
+            futures.pop(f)
+            self._requeue_transient(
+                i, TIMEOUT,
+                f"timed out after {self.timeout:.1f}s of wall clock",
+            )
+        # The survivors were killed along with the pool through no fault
+        # of their own: refund the attempt and resubmit them first.
+        for f, (i, t0) in futures.items():
+            self.attempts[i] -= 1
+            self.queue.appendleft(i)
+        futures.clear()
+        return True
+
+    def _harvest_on_interrupt(self, futures: dict) -> None:
+        """Bank already-finished futures before an interrupt propagates."""
+        for f, (i, t0) in list(futures.items()):
+            if f.done() and not f.cancelled():
+                try:
+                    result = f.result()
+                except BaseException:
+                    continue
+                self.finish(i, result, time.monotonic() - t0)
+            else:
+                f.cancel()
+        futures.clear()
+
+    def run(self) -> None:
+        import concurrent.futures as cf
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        while self.queue or self.delayed:
+            self._drain_delayed(block=True)
+            workers = max(
+                1, min(self.jobs, len(self.queue) + len(self.delayed))
+            )
             try:
-                yield i, future.result(), None
-            except BrokenProcessPool:
+                pool = cf.ProcessPoolExecutor(max_workers=workers)
+            except (OSError, ValueError, ImportError) as exc:
+                raise _PoolUnavailable(exc)
+            futures: "dict[object, tuple[int, float]]" = {}
+            try:
+                try:
+                    self._fill(pool, futures, workers)
+                    while futures:
+                        done, _ = wait(
+                            set(futures),
+                            timeout=self._poll_interval(futures),
+                            return_when=FIRST_COMPLETED,
+                        )
+                        for f in done:
+                            i, t0 = futures.pop(f)
+                            try:
+                                result = f.result()
+                            except BrokenProcessPool:
+                                # Put the entry back: the crash handler
+                                # below requeues everything outstanding.
+                                futures[f] = (i, t0)
+                                raise
+                            except Exception as exc:
+                                # Deterministic failure inside the task:
+                                # retrying cannot change the outcome.
+                                self.fail(i, exc, ERROR)
+                            else:
+                                self.finish(i, result, time.monotonic() - t0)
+                        if self._expire(futures):
+                            _kill_pool(pool)
+                            pool = None
+                            break
+                        self._fill(pool, futures, workers)
+                except BrokenProcessPool as exc:
+                    self._log(
+                        f"worker process died ({exc}); rebuilding the pool "
+                        f"and resubmitting {len(futures)} task(s)"
+                    )
+                    for i, t0 in futures.values():
+                        self._requeue_transient(
+                            i, CRASH,
+                            "worker process died (killed or crashed) while "
+                            "this task was outstanding",
+                        )
+                    futures.clear()
+                    _kill_pool(pool)
+                    pool = None
+            except KeyboardInterrupt:
+                self._harvest_on_interrupt(futures)
+                if pool is not None:
+                    try:
+                        pool.shutdown(wait=False, cancel_futures=True)
+                    except Exception:
+                        pass
+                    _kill_pool(pool)
                 raise
-            except Exception as exc:
-                yield i, None, exc
+            finally:
+                if pool is not None:
+                    pool.shutdown(wait=True, cancel_futures=True)
+
+
+def run_many_detailed(
+    tasks: Sequence[RunTask],
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    progress: Callable[[str], None] | None = None,
+    *,
+    timeout: "float | None" = None,
+    retries: "int | None" = None,
+    backoff: float = 0.5,
+    journal: "SweepJournal | str | None" = "auto",
+    resume: bool = False,
+) -> BatchResult:
+    """Execute ``tasks`` and return a :class:`BatchResult` (never raises
+    :class:`TaskFailure` — failed slots are ``None`` and described in
+    ``failures``).
+
+    ``timeout``/``retries`` default to ``REPRO_BENCH_TASK_TIMEOUT`` /
+    ``REPRO_BENCH_RETRIES``; ``journal="auto"`` checkpoints next to the
+    cache (pass ``None`` to disable); ``resume=True`` replays the
+    journal, skipping tasks whose results are already in the cache and
+    re-reporting deterministic failures without re-simulating them.
+    """
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    timeout = default_task_timeout() if timeout is None else (
+        timeout if timeout > 0 else None
+    )
+    retries = default_retries() if retries is None else max(0, int(retries))
+    if journal == "auto":
+        journal = SweepJournal.for_cache(cache) if cache is not None else None
+
+    total = len(tasks)
+    batch = BatchResult(results=[None] * total, attempts=[0] * total)
+    keys: "list[str | None]" = [None] * total
+    done_count = 0
+
+    def note(i: int, result: RunResult, source: str) -> None:
+        nonlocal done_count
+        done_count += 1
+        if progress is not None:
+            progress(
+                f"[{done_count}/{total}] {tasks[i].label}: {result.cycles} "
+                f"cycles ({source})"
+            )
+
+    def finish(i: int, result: RunResult, duration: float = 0.0) -> None:
+        batch.results[i] = result
+        if cache is not None and keys[i] is not None:
+            cache.put(keys[i], result)
+        if journal is not None and keys[i] is not None:
+            journal.record_done(
+                keys[i], tasks[i].label, max(1, batch.attempts[i]), duration
+            )
+        note(i, result, "ran")
+
+    def fail(
+        i: int, exc: Exception, kind: str, duration: float = 0.0,
+        record: bool = True,
+    ) -> None:
+        batch.failures[i] = FailureInfo(
+            kind=kind, attempts=batch.attempts[i], error=exc
+        )
+        if record and journal is not None and keys[i] is not None:
+            journal.record_failed(
+                keys[i], tasks[i].label, kind, batch.attempts[i], duration,
+                f"{type(exc).__name__}: {exc}",
+            )
+        if progress is not None:
+            progress(
+                f"{tasks[i].label}: failed ({kind}) with "
+                f"{type(exc).__name__}: {exc}"
+            )
+
+    replayed = journal.replay() if (resume and journal is not None) else {}
+
+    pending: "list[int]" = []
+    for i, task in enumerate(tasks):
+        if cache is not None or journal is not None:
+            keys[i] = task.key()
+        if cache is not None and keys[i] is not None:
+            hit = cache.get(keys[i])
+            if hit is not None:
+                batch.results[i] = hit
+                entry = replayed.get(keys[i])
+                if entry is not None and entry.done:
+                    batch.resumed += 1
+                note(i, hit, "cached")
+                continue
+        entry = replayed.get(keys[i]) if keys[i] is not None else None
+        if entry is not None and entry.failed and entry.kind == ERROR:
+            # A deterministic failure under identical code (the key embeds
+            # the code stamp) cannot resolve itself; re-report it instead
+            # of burning simulation time.  Transient kinds (timeout,
+            # worker-crash) are re-run — their causes live outside the
+            # simulator.
+            batch.attempts[i] = entry.attempts
+            batch.resumed += 1
+            fail(
+                i,
+                RuntimeError(
+                    f"replayed from journal: {entry.error or 'task failed'}"
+                ),
+                ERROR,
+                record=False,
+            )
+            continue
+        pending.append(i)
+
+    if batch.resumed and progress is not None:
+        progress(
+            f"resume: {batch.resumed} task(s) already settled by the "
+            f"journal + cache"
+        )
+
+    outstanding = set(pending)
+
+    def finish_tracked(i: int, result: RunResult, duration: float) -> None:
+        outstanding.discard(i)
+        finish(i, result, duration)
+
+    def fail_tracked(i: int, exc: Exception, kind: str) -> None:
+        outstanding.discard(i)
+        fail(i, exc, kind)
+
+    use_pool = bool(pending) and (
+        (jobs > 1 and len(pending) > 1) or timeout is not None
+    )
+    if use_pool:
+        driver = _PoolDriver(
+            tasks, pending, jobs, timeout, retries, backoff,
+            batch.attempts, finish_tracked, fail_tracked, progress,
+        )
+        try:
+            driver.run()
+        except _PoolUnavailable as exc:
+            if progress is not None:
+                progress(
+                    f"process pool unavailable ({exc.args[0]!r}); finishing "
+                    f"{len(outstanding)} run(s) serially"
+                    + ("" if timeout is None else " (timeout not enforced)")
+                )
+
+    # Serial path: first resort for jobs=1, fallback when no pool can be
+    # built.  No parent/worker boundary exists here, so timeouts cannot
+    # be enforced and every failure is deterministic by definition.
+    for i in sorted(outstanding):
+        batch.attempts[i] += 1
+        start = time.monotonic()
+        try:
+            result = _execute(tasks[i])
+        except KeyboardInterrupt:
+            # Everything finished so far is already cached and journaled
+            # incrementally — an interrupted sweep is resumable as-is.
+            raise
+        except Exception as exc:
+            fail(i, exc, ERROR, duration=time.monotonic() - start)
+        else:
+            finish(i, result, time.monotonic() - start)
+
+    return batch
 
 
 def run_many(
@@ -142,7 +646,14 @@ def run_many(
     jobs: int | None = None,
     cache: ResultCache | None = None,
     progress: Callable[[str], None] | None = None,
-) -> list[RunResult]:
+    *,
+    timeout: "float | None" = None,
+    retries: "int | None" = None,
+    backoff: float = 0.5,
+    journal: "SweepJournal | str | None" = "auto",
+    resume: bool = False,
+    keep_going: bool = False,
+) -> "list[RunResult]":
     """Execute ``tasks`` and return their results in task order.
 
     Cached results are served first; the remainder run serially
@@ -150,83 +661,17 @@ def run_many(
     returned :class:`RunResult` objects are identical to what a serial
     loop over :func:`~repro.bench.runner.run_workload` would produce —
     the simulator carries no global state and every run is deterministic.
+
+    Failures raise :class:`TaskFailure` after every other task finished;
+    with ``keep_going=True`` failed slots are returned as ``None``
+    instead (use :func:`run_many_detailed` for the failure taxonomy).
+    See :func:`run_many_detailed` for the resilience knobs.
     """
-    jobs = default_jobs() if jobs is None else max(1, int(jobs))
-    total = len(tasks)
-    results: list[RunResult | None] = [None] * total
-    keys: list[str | None] = [None] * total
-    done = 0
-
-    def note(i: int, result: RunResult, source: str) -> None:
-        nonlocal done
-        done += 1
-        if progress is not None:
-            progress(
-                f"[{done}/{total}] {tasks[i].label}: {result.cycles} "
-                f"cycles ({source})"
-            )
-
-    def finish(i: int, result: RunResult) -> None:
-        results[i] = result
-        if cache is not None and keys[i] is not None:
-            cache.put(keys[i], result)
-        note(i, result, "ran")
-
-    failures: dict[int, Exception] = {}
-
-    def fail(i: int, exc: Exception) -> None:
-        failures[i] = exc
-        if progress is not None:
-            progress(
-                f"{tasks[i].label}: failed with {type(exc).__name__}: {exc}"
-            )
-
-    pending: set[int] = set()
-    for i, task in enumerate(tasks):
-        if cache is not None:
-            keys[i] = task.key()
-            hit = cache.get(keys[i])
-            if hit is not None:
-                results[i] = hit
-                note(i, hit, "cached")
-                continue
-        pending.add(i)
-
-    if jobs > 1 and len(pending) > 1:
-        # Pool failures (sandboxed semaphores, fork limits, a worker
-        # dying) leave `pending` holding exactly the unfinished tasks,
-        # which then run on the serial path below.  Tasks that *raised*
-        # in their worker are recorded in `failures` instead — they are
-        # deterministic, so re-running them serially would fail again.
-        from concurrent.futures.process import BrokenProcessPool
-
-        try:
-            for i, result, exc in _run_pool(tasks, sorted(pending), jobs):
-                if exc is not None:
-                    fail(i, exc)
-                else:
-                    finish(i, result)
-                pending.discard(i)
-        except (OSError, ValueError, ImportError, BrokenProcessPool) as exc:
-            if progress is not None:
-                progress(
-                    f"process pool unavailable ({exc!r}); finishing "
-                    f"{len(pending)} run(s) serially"
-                )
-    for i in sorted(pending):
-        try:
-            finish(i, _execute(tasks[i]))
-        except Exception as exc:
-            fail(i, exc)
-
-    if failures:
-        labels = ", ".join(tasks[i].label for i in sorted(failures))
-        first_i = min(failures)
-        first = failures[first_i]
-        raise TaskFailure(
-            f"{len(failures)} of {total} run(s) failed: {labels} — first "
-            f"failure ({tasks[first_i].label}): "
-            f"{type(first).__name__}: {first}",
-            {tasks[i].label: exc for i, exc in failures.items()},
-        )
-    return results  # type: ignore[return-value]  # every slot is filled
+    batch = run_many_detailed(
+        tasks, jobs=jobs, cache=cache, progress=progress,
+        timeout=timeout, retries=retries, backoff=backoff,
+        journal=journal, resume=resume,
+    )
+    if batch.failures and not keep_going:
+        raise TaskFailure.from_batch(tasks, batch.failures)
+    return batch.results  # type: ignore[return-value]

@@ -117,6 +117,9 @@ def run_pair(
     jobs: int | None = None,
     cache=None,
     progress: Callable[[str], None] | None = None,
+    timeout: "float | None" = None,
+    retries: "int | None" = None,
+    resume: bool = False,
 ) -> PairResult:
     """Run a workload with and without prefetching on the same machine.
 
@@ -124,6 +127,8 @@ def run_pair(
     :func:`repro.bench.parallel.run_many`: ``jobs`` worker processes
     (default ``REPRO_BENCH_JOBS`` or serial) and an optional
     :class:`~repro.bench.cache.ResultCache` of finished results.
+    ``timeout``/``retries``/``resume`` are the resilience knobs of
+    :func:`~repro.bench.parallel.run_many_detailed`.
     """
     from repro.bench.parallel import pair_tasks, run_many
 
@@ -131,6 +136,7 @@ def run_pair(
     base, pf = run_many(
         pair_tasks(workload, cfg, options=options, max_cycles=max_cycles),
         jobs=jobs, cache=cache, progress=progress,
+        timeout=timeout, retries=retries, resume=resume,
     )
     return PairResult(
         workload=workload.name, config=cfg, base=base, prefetch=pf
@@ -145,6 +151,10 @@ def sweep(
     jobs: int | None = None,
     cache=None,
     progress: Callable[[str], None] | None = None,
+    timeout: "float | None" = None,
+    retries: "int | None" = None,
+    resume: bool = False,
+    keep_going: bool = False,
 ) -> ScalingResult:
     """Pair runs across SPE counts (the Figures 6-8 axes).
 
@@ -154,6 +164,12 @@ def sweep(
     set) they fan out across worker processes; results are bit-identical
     to the serial path either way, and ``cache`` serves already-finished
     runs without simulating.
+
+    ``timeout``/``retries``/``resume`` are the resilience knobs of
+    :func:`~repro.bench.parallel.run_many_detailed`.  With
+    ``keep_going=True`` a permanently failing point is *dropped* from
+    the returned :class:`ScalingResult` (both variants must finish for a
+    pair to count) instead of aborting the sweep.
     """
     from repro.bench.parallel import pair_tasks, run_many
 
@@ -161,13 +177,20 @@ def sweep(
     tasks = []
     for n in spes:
         tasks.extend(pair_tasks(workload, config_for(n), options=options))
-    runs = run_many(tasks, jobs=jobs, cache=cache, progress=progress)
+    runs = run_many(
+        tasks, jobs=jobs, cache=cache, progress=progress,
+        timeout=timeout, retries=retries, resume=resume,
+        keep_going=keep_going,
+    )
     result = ScalingResult(workload=workload.name)
     for i, n in enumerate(spes):
+        base, prefetch = runs[2 * i], runs[2 * i + 1]
+        if base is None or prefetch is None:
+            continue  # keep_going dropped this point; see the progress log
         result.pairs[n] = PairResult(
             workload=workload.name,
             config=tasks[2 * i].config,
-            base=runs[2 * i],
-            prefetch=runs[2 * i + 1],
+            base=base,
+            prefetch=prefetch,
         )
     return result

@@ -82,6 +82,25 @@ def _progress(msg: str) -> None:
     print(f"# {msg}", file=sys.stderr)
 
 
+def _resilience_opts(args: argparse.Namespace) -> dict:
+    """The run_many resilience knobs selected on the command line."""
+    if getattr(args, "resume", False) and not getattr(args, "cache", True):
+        raise SystemExit(
+            "--resume needs the result cache (the journal is validated "
+            "against it); drop --no-cache"
+        )
+    return {
+        "timeout": getattr(args, "task_timeout", None),
+        "retries": getattr(args, "retries", None),
+        "resume": getattr(args, "resume", False),
+    }
+
+
+def _cache_summary(cache) -> None:
+    if cache is not None:
+        _progress(f"cache: {cache.summary()}")
+
+
 def _workload(args: argparse.Namespace):
     try:
         build = builders(args.scale)[args.benchmark]
@@ -141,10 +160,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             cfg = cfg.with_latency(args.latency)
         return _apply_robustness(cfg, args)
 
+    cache = _cache(args)
     scaling = sweep(
         build, spes=tuple(args.spes), config_for=config_for,
-        jobs=args.jobs, cache=_cache(args), progress=_progress,
+        jobs=args.jobs, cache=cache, progress=_progress,
+        keep_going=args.keep_going, **_resilience_opts(args),
     )
+    _cache_summary(cache)
+    if not scaling.pairs:
+        print("no point of the sweep completed (see the failures above)",
+              file=sys.stderr)
+        return 1
     print(execution_table(scaling))
     print()
     print(scalability_table(scaling))
@@ -160,9 +186,12 @@ def cmd_tables(args: argparse.Namespace) -> int:
     tasks = []
     for workload in workloads.values():
         tasks.extend(pair_tasks(workload, cfg))
+    cache = _cache(args)
     results = run_many(
-        tasks, jobs=args.jobs, cache=_cache(args), progress=_progress
+        tasks, jobs=args.jobs, cache=cache, progress=_progress,
+        **_resilience_opts(args),
     )
+    _cache_summary(cache)
     pairs = {
         name: PairResult(
             workload=name, config=cfg,
@@ -202,9 +231,10 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.bench.runner import sweep as _sweep
 
     cache = _cache(args)
+    opts = _resilience_opts(args)
     data = reproduce_all(
         scale=args.scale, spes=tuple(args.spes), progress=_progress,
-        jobs=args.jobs, cache=cache,
+        jobs=args.jobs, cache=cache, keep_going=args.keep_going, **opts,
     )
     text = to_json(data)
     if args.output:
@@ -220,10 +250,21 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         # just finished, so the CSV costs no extra simulation.
         with open(args.csv, "w") as fh:
             for name, build in _builders(args.scale).items():
-                fh.write(scaling_to_csv(_sweep(
+                scaling = _sweep(
                     build, spes=tuple(args.spes), jobs=args.jobs, cache=cache,
-                )))
+                    keep_going=args.keep_going, **opts,
+                )
+                if scaling.pairs:
+                    fh.write(scaling_to_csv(scaling))
+                else:
+                    _progress(f"csv: dropping {name} (no completed points)")
         print(f"wrote {args.csv}", file=sys.stderr)
+    _cache_summary(cache)
+    if data.get("degraded"):
+        _progress(
+            f"DEGRADED: {len(data['degraded'])} task(s) failed; artifacts "
+            f"are partial"
+        )
     return 0
 
 
@@ -307,7 +348,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "frame double-free, DMA overlap, exactly-once "
                             "delivery)")
 
-    def parallel_opts(p):
+    def parallel_opts(p, keep_going=False):
         p.add_argument("--jobs", "-j", type=int, default=None,
                        help="worker processes for independent runs "
                             "(default: REPRO_BENCH_JOBS or 1 = serial)")
@@ -315,6 +356,25 @@ def build_parser() -> argparse.ArgumentParser:
                        default=True,
                        help="ignore the persistent result cache "
                             "(REPRO_BENCH_CACHE) for this invocation")
+        p.add_argument("--task-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-task wall-clock timeout, enforced by the "
+                            "parent over worker futures (default: "
+                            "REPRO_BENCH_TASK_TIMEOUT or off)")
+        p.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="retry budget for transient failures (timeouts, "
+                            "worker crashes) with exponential backoff "
+                            "(default: REPRO_BENCH_RETRIES or 2); "
+                            "deterministic errors are never retried")
+        p.add_argument("--resume", action="store_true",
+                       help="replay the sweep journal next to the result "
+                            "cache and skip tasks an interrupted run "
+                            "already settled")
+        if keep_going:
+            p.add_argument("--keep-going", action="store_true",
+                           help="do not abort on a permanently failing "
+                                "task; emit partial artifacts plus a "
+                                "'degraded' manifest naming each failure")
 
     p_run = sub.add_parser("run", help="run one benchmark")
     common(p_run)
@@ -330,7 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep = sub.add_parser("sweep", help="scaling sweep (Figures 6-8)")
     common(p_sweep, add_spes=False)
     p_sweep.add_argument("--spes", type=int, nargs="+", default=[1, 2, 4, 8])
-    parallel_opts(p_sweep)
+    parallel_opts(p_sweep, keep_going=True)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_tables = sub.add_parser(
@@ -372,7 +432,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write JSON here instead of stdout")
     p_rep.add_argument("--csv", default=None,
                        help="also write per-point CSV rows here")
-    parallel_opts(p_rep)
+    parallel_opts(p_rep, keep_going=True)
     p_rep.set_defaults(func=cmd_reproduce)
 
     return parser

@@ -88,6 +88,36 @@ class TestStore:
         assert pair.base.cycles > 0
         assert cache.hits == 0
 
+    def test_corrupt_entry_is_quarantined_not_reparsed(self, cache):
+        wl = matmul.build(n=4, threads=2)
+        pair = run_pair(wl, paper_config(1), cache=cache)
+        keys = [p.stem for p in cache.root.glob("*.pkl")]
+        victim = keys[0]
+        (cache.root / f"{victim}.pkl").write_bytes(b"not a pickle")
+        assert cache.get(victim) is None
+        assert cache.corrupt == 1
+        # The bytes moved aside for post-mortems; the key is a clean miss
+        # now (no .pkl to re-parse on the next lookup).
+        assert (cache.root / f"{victim}.corrupt").exists()
+        assert not (cache.root / f"{victim}.pkl").exists()
+        assert cache.get(victim) is None
+        assert cache.corrupt == 1  # quarantined once, not per lookup
+        assert "corrupt=1" in repr(cache)
+        assert "quarantined" in cache.summary()
+        # A re-run heals the entry in place.
+        healed = run_pair(wl, paper_config(1), cache=cache)
+        assert healed.base.cycles == pair.base.cycles
+
+    def test_clear_also_removes_quarantined_entries(self, cache):
+        run_pair(matmul.build(n=4, threads=2), paper_config(1), cache=cache)
+        victim = next(cache.root.glob("*.pkl")).stem
+        (cache.root / f"{victim}.pkl").write_bytes(b"garbage")
+        cache.get(victim)
+        assert (cache.root / f"{victim}.corrupt").exists()
+        cache.clear()
+        assert not list(cache.root.glob("*.corrupt"))
+        assert len(cache) == 0
+
     def test_unwritable_root_degrades_gracefully(self, tmp_path):
         blocker = tmp_path / "file"
         blocker.write_text("in the way")

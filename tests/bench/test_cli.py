@@ -75,6 +75,24 @@ class TestSweep:
         assert "(cached)" in second.err and "(ran)" not in second.err
         assert second.out == first.out
 
+    def test_sweep_prints_cache_summary(self, capsys):
+        assert main(["sweep", "mmul", "--spes", "1"]) == 0
+        assert "cache:" in capsys.readouterr().err
+
+    def test_sweep_resilience_flags_accepted(self, capsys):
+        # A generous timeout forces the parent-enforced pool path without
+        # ever firing; the sweep must behave exactly as a plain run.
+        assert main([
+            "sweep", "mmul", "--spes", "1", "--no-cache",
+            "--task-timeout", "300", "--retries", "1", "--keep-going",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Execution time" in out
+
+    def test_resume_rejects_no_cache(self):
+        with pytest.raises(SystemExit, match="resume"):
+            main(["sweep", "mmul", "--spes", "1", "--resume", "--no-cache"])
+
 
 class TestTables:
     def test_tables_prints_all_artifacts(self, capsys):
@@ -130,6 +148,15 @@ class TestReproduce:
         import json
 
         json.loads(out)
+
+    def test_reproduce_resume_after_completed_run(self, capsys):
+        assert main(["reproduce", "--spes", "1"]) == 0
+        capsys.readouterr()
+        assert main(["reproduce", "--spes", "1", "--resume"]) == 0
+        err = capsys.readouterr().err
+        # Every task was settled by the first run's journal + cache.
+        assert "resume:" in err
+        assert "(ran)" not in err
 
 
 class TestTimeline:

@@ -1,0 +1,87 @@
+"""Sweep journal: append/replay round-trips, tolerance, validation."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.cache import ResultCache
+from repro.bench.journal import SweepJournal
+
+
+class TestRoundTrip:
+    def test_done_and_failed_entries(self, tmp_path):
+        journal = SweepJournal(tmp_path / "journal.jsonl")
+        journal.record_done("k1", "mmul spes=1 base", 1, 0.25)
+        journal.record_failed(
+            "k2", "mmul spes=1 prefetch", "timeout", 3, 9.5,
+            "TaskTimeout: timed out after 3.0s",
+        )
+        replay = journal.replay()
+        assert set(replay) == {"k1", "k2"}
+        assert replay["k1"].done and replay["k1"].attempts == 1
+        assert replay["k2"].failed and replay["k2"].kind == "timeout"
+        assert replay["k2"].attempts == 3
+        assert "TaskTimeout" in replay["k2"].error
+        assert journal.records == 2
+
+    def test_last_entry_per_key_wins(self, tmp_path):
+        journal = SweepJournal(tmp_path / "journal.jsonl")
+        journal.record_failed("k", "task", "worker-crash", 1, 0.1, "died")
+        journal.record_done("k", "task", 2, 0.2)
+        replay = journal.replay()
+        assert len(replay) == 1 and replay["k"].done
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        assert SweepJournal(tmp_path / "nope.jsonl").replay() == {}
+
+    def test_len_and_clear(self, tmp_path):
+        journal = SweepJournal(tmp_path / "journal.jsonl")
+        journal.record_done("k", "task", 1, 0.0)
+        assert len(journal) == 1
+        journal.clear()
+        assert len(journal) == 0
+        journal.clear()  # idempotent on a missing file
+
+
+class TestRobustness:
+    def test_torn_and_malformed_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = SweepJournal(path)
+        journal.record_done("good", "task", 1, 0.0)
+        with open(path, "a") as fh:
+            fh.write("{truncated by a crash mid-wr")  # no newline either
+        journal2 = SweepJournal(path)
+        journal2.record_done("good2", "task2", 1, 0.0)
+        replay = journal2.replay()
+        assert set(replay) == {"good", "good2"}
+
+    def test_other_versions_and_shapes_are_ignored(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        lines = [
+            json.dumps({"v": 99, "key": "future", "status": "done"}),
+            json.dumps(["not", "a", "dict"]),
+            json.dumps({"v": 1, "key": "missing-fields"}),
+            json.dumps({"v": 1, "key": "k", "label": "t",
+                        "status": "bogus-status", "attempts": 1}),
+            "",
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        assert SweepJournal(path).replay() == {}
+
+    def test_unwritable_path_degrades_silently(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("in the way")
+        journal = SweepJournal(blocker / "impossible" / "journal.jsonl")
+        journal.record_done("k", "task", 1, 0.0)  # must not raise
+        assert journal.records == 0
+        assert journal.replay() == {}
+
+
+class TestForCache:
+    def test_journal_lives_next_to_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        journal = SweepJournal.for_cache(cache)
+        assert journal.path == cache.root / "journal.jsonl"
+        journal.record_done("k", "task", 1, 0.0)
+        # The journal must not count as a cache entry.
+        assert len(cache) == 0

@@ -117,7 +117,10 @@ class TestFailureIsolation:
         assert bad_label in str(exc.value)
         assert "1 of 5 run(s) failed" in str(exc.value)
         assert set(exc.value.failures) == {bad_label}
-        assert isinstance(exc.value.failures[bad_label], AssertionError)
+        info = exc.value.failures[bad_label]
+        assert isinstance(info.error, AssertionError)
+        assert info.kind == "error"  # deterministic: never retried
+        assert info.attempts == 1
 
     def test_other_tasks_finish_and_are_cached(self, tmp_path):
         # One bad run must not throw away the rest of the sweep: every
