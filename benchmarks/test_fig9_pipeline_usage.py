@@ -1,5 +1,12 @@
 """Figure 9 — pipeline usage with and without prefetching (8 SPEs).
 
+Profiler-driven since the observability subsystem landed: the measured
+run goes through :func:`repro.obs.profile_workload`, and the figure's
+usage numbers are taken from the profiler's hub-derived
+:class:`~repro.obs.profile.Profile` — cross-checked against the
+stats-pipeline numbers of the cached ``all_pairs`` runs, so the figure
+and the profiler must agree to reproduce.
+
 Shape claims: "the usage is much higher when prefetching is performed
 because operations with local store are much faster than operations with
 main memory", and the improvement mirrors the memory-stall mass removed
@@ -9,30 +16,46 @@ bitcnt.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.bench.report import pipeline_usage_table
-from repro.bench.runner import run_workload
 from repro.bench.scale import builders
+from repro.obs import profile_workload
 from repro.sim.config import paper_config
 
 
 def test_fig9_pipeline_usage(benchmark, all_pairs):
     build = builders()["mmul"]
     benchmark.pedantic(
-        lambda: run_workload(build(), paper_config(8), prefetch=True),
+        lambda: profile_workload(build(), paper_config(8), prefetch=True),
         rounds=1,
         iterations=1,
     )
     print()
     print(pipeline_usage_table(all_pairs))
 
-    for name, pair in all_pairs.items():
-        base = pair.base.stats.average_pipeline_usage
-        pf = pair.prefetch.stats.average_pipeline_usage
-        assert pf > base, f"{name}: prefetching must raise pipeline usage"
+    # Profile every benchmark in both variants; the figure's numbers are
+    # the profiler's, validated against the stats pipeline.
+    usage = {}
+    for name, build in builders().items():
+        usage[name] = {}
+        for prefetch in (False, True):
+            _, profile = profile_workload(
+                build(), paper_config(8), prefetch=prefetch
+            )
+            usage[name][prefetch] = profile.average_pipeline_usage
+            pair_run = (
+                all_pairs[name].prefetch if prefetch else all_pairs[name].base
+            )
+            assert profile.average_pipeline_usage == pytest.approx(
+                pair_run.stats.average_pipeline_usage, rel=1e-3
+            ), f"{name} prefetch={prefetch}: profiler disagrees with stats"
+
+    for name, variants in usage.items():
+        assert variants[True] > variants[False], (
+            f"{name}: prefetching must raise pipeline usage"
+        )
     # Memory-bound benchmarks: usage rises dramatically.
     for name in ("mmul", "zoom"):
-        pair = all_pairs[name]
-        assert pair.prefetch.stats.average_pipeline_usage > 3 * (
-            pair.base.stats.average_pipeline_usage
-        )
-        assert pair.base.stats.average_pipeline_usage < 0.15
+        assert usage[name][True] > 3 * usage[name][False]
+        assert usage[name][False] < 0.15

@@ -31,10 +31,15 @@ __all__ = [
 ]
 
 
-def run_to_dict(run: RunResult) -> dict:
-    """Flatten one run into JSON-serializable primitives."""
+def run_to_dict(run: RunResult, profile=None) -> dict:
+    """Flatten one run into JSON-serializable primitives.
+
+    When a :class:`repro.obs.profile.Profile` is given, its summary
+    (profiler-derived usage / breakdown / totals / counters) is embedded
+    under the ``"obs"`` key next to the stats-derived numbers.
+    """
     mix = run.stats.mix.table5_row()
-    return {
+    out = {
         "activity": run.activity,
         "prefetch": run.prefetch,
         "cycles": run.cycles,
@@ -77,6 +82,9 @@ def run_to_dict(run: RunResult) -> dict:
             "mem_stalls": run.stats.faults.mem_stalls,
         },
     }
+    if profile is not None:
+        out["obs"] = profile.summary_dict()
+    return out
 
 
 def pair_to_dict(pair: PairResult) -> dict:

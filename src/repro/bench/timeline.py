@@ -6,24 +6,20 @@ pipeline was doing — the visual counterpart of the Figure 5 breakdown
 and the quickest way to *see* non-blocking execution (DMA waits of one
 thread overlapped by another thread's work).
 
+The interval reconstruction itself lives in
+:class:`repro.obs.intervals.IntervalSink` (shared with the Perfetto
+exporter); this module keeps the rendering.
+
 Legend: ``#`` executing, ``p`` executing a PF block, ``.`` idle,
 space = before first / after last activity of that SPU.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
+from repro.obs.intervals import Interval, IntervalSink
 from repro.sim.trace import Tracer
 
 __all__ = ["Timeline", "render_timeline"]
-
-
-@dataclass
-class _Interval:
-    start: int
-    end: int
-    kind: str  # "run" | "pf"
 
 
 class Timeline:
@@ -31,31 +27,12 @@ class Timeline:
 
     def __init__(self, tracer: Tracer, total_cycles: int) -> None:
         self.total_cycles = max(1, total_cycles)
-        self.per_spu: dict[str, list[_Interval]] = {}
-        open_since: dict[str, tuple[int, str]] = {}
+        sink = IntervalSink()
         for event in tracer.events:
-            src = event.source
-            if not src.startswith("spu"):
-                continue
-            if event.kind == "dispatch":
-                # A dispatch while something is open closes it implicitly
-                # (STOP of the previous thread).
-                if src in open_since:
-                    self._close(src, event.cycle, open_since.pop(src))
-                kind = "pf" if event.fields.get("pf") else "run"
-                open_since[src] = (event.cycle, kind)
-            elif event.kind in ("yield-dma", "thread-stop"):
-                if src in open_since:
-                    self._close(src, event.cycle, open_since.pop(src))
-        for src, opened in open_since.items():
-            self._close(src, self.total_cycles, opened)
-
-    def _close(self, src: str, end: int, opened: tuple[int, str]) -> None:
-        start, kind = opened
-        if end > start:
-            self.per_spu.setdefault(src, []).append(
-                _Interval(start=start, end=end, kind=kind)
-            )
+            if event.source.startswith("spu"):
+                sink.emit(event)
+        sink.finish(self.total_cycles)
+        self.per_spu: dict[str, list[Interval]] = sink.pipeline
 
     def busy_fraction(self, spu: str) -> float:
         intervals = self.per_spu.get(spu, [])

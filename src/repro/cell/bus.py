@@ -72,11 +72,20 @@ class Bus(Component):
         self._undelivered: set[int] = set()
         self._injector = None  # optional FaultInjector
         self._sanitizer = None  # optional Sanitizer
+        # Hub instruments (bound in _bind_metrics; None = observability off).
+        self._m_busy = None
+        self._m_bytes = None
+        self._g_backlog = None
 
     def attach_faults(self, injector=None, sanitizer=None) -> None:
         """Wire the machine's fault injector / sanitizer (both optional)."""
         self._injector = injector
         self._sanitizer = sanitizer
+
+    def _bind_metrics(self, hub) -> None:
+        self._m_busy = hub.bucket_series("bus.busy_cycles")
+        self._m_bytes = hub.bucket_series("bus.bytes")
+        self._g_backlog = hub.gauge("bus.backlog")
 
     # -- API ------------------------------------------------------------------
 
@@ -123,6 +132,14 @@ class Bus(Component):
             self.stats.bytes_moved += t.msg.size_bytes
             self.stats.busy_bus_cycles += cycles
             self.stats.queue_wait_cycles += now - t.enqueued_at
+            if self._m_busy is not None:
+                self._m_busy.add(now, cycles)
+                self._m_bytes.add(now, t.msg.size_bytes)
+                self._g_backlog.observe(now, len(self._queue))
+            self._trace(
+                "bus-grant", channel=ch, end=now + cycles,
+                bytes=t.msg.size_bytes,
+            )
             inj = self._injector
             if inj is not None:
                 finish += inj.bus_transfer_delay()

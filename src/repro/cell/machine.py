@@ -127,6 +127,9 @@ class Machine:
 
         #: Optional tracer attached to every component.
         self.tracer = None
+        #: Optional metrics hub (see :mod:`repro.obs.hub`) + its sampler.
+        self.hub = None
+        self.sampler = None
 
         # Run bookkeeping.
         self._activity: TLPActivity | None = None
@@ -155,6 +158,27 @@ class Machine:
         self.tracer = tracer
         for component in self.engine.components:
             component._tracer = tracer
+
+    def attach_hub(self, hub) -> None:
+        """Bind a :class:`~repro.obs.hub.MetricsHub` to every component.
+
+        A ``None`` or disabled hub is a strict no-op: nothing binds, no
+        sampler is registered, and the run is indistinguishable from an
+        unobserved one.  An enabled hub is observation-only — it never
+        wakes or messages a functional component, so cycle counts are
+        identical with or without it.
+        """
+        if hub is None or not hub.enabled:
+            return
+        from repro.obs.hub import MetricsSampler
+
+        self.hub = hub
+        for component in self.engine.components:
+            component.bind_hub(hub)
+        self.sampler = MetricsSampler(
+            "metrics-sampler", hub=hub, machine=self, done=self._done
+        )
+        self.engine.register(self.sampler)
 
     # -- services used by components --------------------------------------------
 
@@ -225,6 +249,8 @@ class Machine:
             raise RuntimeError("no activity loaded")
         if self.watchdog is not None:
             self.watchdog.start()
+        if self.sampler is not None:
+            self.sampler.start()
         self.engine.run(until=self._done, max_cycles=max_cycles)
         finish = self.engine.now
         # Drain in-flight posted writes / acks so results are observable.

@@ -61,9 +61,18 @@ class MainMemory(Component):
         self.directory: dict[int, object] = {}
         self._bus = None  # wired by the machine
         self._injector = None  # optional FaultInjector
+        # Hub instruments (bound in _bind_metrics; None = observability off).
+        self._m_wait = None
+        self._m_requests = None
+        self._g_queue = None
 
     def attach_bus(self, bus) -> None:
         self._bus = bus
+
+    def _bind_metrics(self, hub) -> None:
+        self._m_wait = hub.bucket_series("memory.port_wait_cycles")
+        self._m_requests = hub.bucket_series("memory.requests")
+        self._g_queue = hub.gauge("memory.queue_depth")
 
     def attach_faults(self, injector=None) -> None:
         self._injector = injector
@@ -115,7 +124,13 @@ class MainMemory(Component):
             msg, arrival = self._queue.popleft()
             accepted += 1
             self.stats.port_wait_cycles += now - arrival
+            if self._m_wait is not None:
+                self._m_requests.add(now, 1)
+                if now > arrival:
+                    self._m_wait.add(now, now - arrival)
             self._serve(msg, now)
+        if self._g_queue is not None and accepted:
+            self._g_queue.observe(now, len(self._queue))
         return now + 1 if self._queue else None
 
     def _endpoint(self, spe_id: int):
@@ -228,6 +243,11 @@ class MainMemory(Component):
             )
         else:
             raise MemoryFault(f"main memory cannot serve {type(msg).__name__}")
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting for a port (metrics sampling)."""
+        return len(self._queue)
 
     def describe_state(self) -> str:
         return f"{len(self._queue)} queued requests"

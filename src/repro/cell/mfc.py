@@ -97,6 +97,12 @@ class MFC(Component):
         self._queue: deque[DmaCommand] = deque()
         self._inflight: dict[int, DmaCommand] = {}
         self._next_id = 0
+        #: Bytes of not-yet-completed commands (incremental, O(1) to read).
+        self._outstanding_bytes = 0
+        # Hub instruments (bound in _bind_metrics; None = observability off).
+        self._m_bytes = None
+        self._m_commands = None
+        self._g_inflight = None
         # Wired by the SPE/machine.
         self._bus = None
         self._memory = None
@@ -104,6 +110,12 @@ class MFC(Component):
         self._endpoint = None  # the SPE bus endpoint responses return to
         self._injector = None  # optional FaultInjector
         self._sanitizer = None  # optional Sanitizer
+
+    def _bind_metrics(self, hub) -> None:
+        prefix = f"mfc{self.spe_id}"
+        self._m_bytes = hub.bucket_series(f"{prefix}.bytes")
+        self._m_commands = hub.counter(f"{prefix}.commands")
+        self._g_inflight = hub.gauge(f"{prefix}.inflight_bytes")
 
     def wire(self, bus, memory, lse, endpoint, injector=None,
              sanitizer=None) -> None:
@@ -168,6 +180,11 @@ class MFC(Component):
                     tid=tid, chunks=len(chunks))
         self.stats.commands += 1
         self.stats.bytes_transferred += size
+        self._outstanding_bytes += size
+        if self._m_bytes is not None:
+            self._m_bytes.add(self.now, size)
+            self._m_commands.add()
+            self._g_inflight.observe(self.now, self._outstanding_bytes)
         if self._lse is not None:
             self._lse.dma_command_issued(tid, tag)
         self.wake()
@@ -323,6 +340,9 @@ class MFC(Component):
         cmd.done_chunks += 1
         if cmd.complete:
             del self._inflight[cmd.command_id]
+            self._outstanding_bytes -= cmd.size
+            if self._g_inflight is not None:
+                self._g_inflight.observe(self.now, self._outstanding_bytes)
             if self._sanitizer is not None and cmd.kind is DmaKind.GET:
                 self._sanitizer.dma_write_end(self.name, cmd.command_id)
             tid, tag = cmd.tid, cmd.tag
@@ -334,6 +354,11 @@ class MFC(Component):
     def outstanding_commands(self) -> int:
         """Commands queued or in flight (watchdog diagnostics)."""
         return len(self._queue) + len(self._inflight)
+
+    @property
+    def outstanding_bytes(self) -> int:
+        """Bytes of queued or in-flight commands (metrics sampling)."""
+        return self._outstanding_bytes
 
     def describe_state(self) -> str:
         return (

@@ -46,6 +46,11 @@ class PPE(Component, BusEndpoint):
         self._seq = 0
         #: Handles of the root threads, in spawn order (for tests).
         self.spawned_handles: list[int] = []
+        # Hub instruments (bound in _bind_metrics; None = observability off).
+        self._m_spawns = None
+
+    def _bind_metrics(self, hub) -> None:
+        self._m_spawns = hub.counter("ppe.root_spawns")
 
     def wire(self, bus, dse) -> None:
         self._bus = bus
@@ -103,6 +108,10 @@ class PPE(Component, BusEndpoint):
             ]
             self._seq += 1
             self._waiting_response = True
+            if self._m_spawns is not None:
+                self._m_spawns.add()
+            self._trace("root-spawn", template=spawn.template,
+                        index=self._spawn_index - 1)
             self._bus.send(
                 self, self._dse,
                 FallocRequest(

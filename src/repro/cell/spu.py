@@ -122,6 +122,22 @@ class SPU(Component):
         self._ext_on_value: Callable[[int], None] | None = None
         self._ext_kind: str | None = None  # "value" | "lse_queue" | "write_credit"
         self._outstanding_writes = 0
+        # Hub instruments (bound in _bind_metrics; None = observability off).
+        self._m_buckets: dict[str, object] | None = None
+        self._m_issue = None
+        self._m_issue_cycles = None
+        self._m_dual_issue = None
+
+    def _bind_metrics(self, hub) -> None:
+        prefix = f"spu{self.spe_id}"
+        self._m_buckets = {
+            bucket: hub.bucket_series(f"{prefix}.{bucket}")
+            for bucket in Bucket.ALL
+            if bucket != Bucket.IDLE
+        }
+        self._m_issue = hub.bucket_series(f"{prefix}.issue")
+        self._m_issue_cycles = hub.counter(f"{prefix}.issue_cycles")
+        self._m_dual_issue = hub.counter(f"{prefix}.dual_issue_cycles")
 
     def wire(self, lse, mfc, bus, memory, endpoint, cache=None) -> None:
         self._lse = lse
@@ -149,6 +165,8 @@ class SPU(Component):
             self.stats.breakdown.add(bucket, cycles)
             if self.thread is not None:
                 self.stats.template_cycles[self.thread.program.name] += cycles
+            if self._m_buckets is not None:
+                self._m_buckets[bucket].add(self.now, cycles)
 
     # -- external notifications ----------------------------------------------
 
@@ -416,6 +434,11 @@ class SPU(Component):
             self.stats.issue_cycles += 1
             if issued >= 2:
                 self.stats.dual_issue_cycles += 1
+            if self._m_issue is not None:
+                self._m_issue.add(now, 1)
+                self._m_issue_cycles.add()
+                if issued >= 2:
+                    self._m_dual_issue.add()
             self._account(bucket, 1 + penalty)
         elif penalty:
             self._account(bucket, penalty)

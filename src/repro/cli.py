@@ -13,6 +13,11 @@ Commands
             (and optionally CSV) for external plotting.
 ``timeline``  run one benchmark with tracing and print a per-SPU ASCII
             Gantt chart (watch threads yield for DMA and overlap).
+``profile``  run one benchmark under the observability subsystem and
+            export a profile JSON, a Perfetto/Chrome trace, a metrics
+            CSV and/or the raw event stream as JSONL.
+``diff``    compare two profile JSON files (perf-regression check);
+            nonzero exit when a watched metric regressed.
 
 Examples
 --------
@@ -291,6 +296,86 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        dma_overlap_count,
+        metrics_csv,
+        profile_workload,
+        to_perfetto,
+        validate_trace_events,
+    )
+    from repro.obs.hub import HubConfig
+
+    workload = _workload(args)
+    cfg = _config(args)
+    hub_config = (
+        HubConfig(bucket_cycles=args.bucket_cycles,
+                  sample_interval=args.bucket_cycles)
+        if args.bucket_cycles else None
+    )
+    result, profile = profile_workload(
+        workload, cfg, prefetch=args.prefetch,
+        options=PrefetchOptions(worthwhile_threshold=args.threshold),
+        hub_config=hub_config, trace_jsonl=args.trace_jsonl,
+    )
+    label = "with prefetching" if args.prefetch else "original DTA"
+    print(f"{workload.name} ({label}): {result.cycles} cycles, "
+          f"pipeline usage {profile.average_pipeline_usage:.1%}, "
+          f"{profile.totals['dma_commands']} DMA commands, "
+          f"{dma_overlap_count(profile)} DMA intervals overlapped other "
+          f"threads' execution")
+    rows = [[b, f"{c:.0f}"] for b, c in profile.breakdown_cycles.items()]
+    print(format_table(["bucket", "avg cycles/SPU"], rows))
+    if args.profile_out:
+        with open(args.profile_out, "w") as fh:
+            fh.write(profile.to_json() + "\n")
+        print(f"wrote {args.profile_out}", file=sys.stderr)
+    if args.perfetto:
+        doc = to_perfetto(profile)
+        errors = validate_trace_events(doc)
+        if errors:
+            raise SystemExit(
+                "perfetto export failed validation:\n" + "\n".join(errors[:10])
+            )
+        with open(args.perfetto, "w") as fh:
+            json.dump(doc, fh)
+            fh.write("\n")
+        print(f"wrote {args.perfetto} "
+              f"({len(doc['traceEvents'])} events; open in "
+              f"https://ui.perfetto.dev)", file=sys.stderr)
+    if args.metrics_csv:
+        with open(args.metrics_csv, "w") as fh:
+            fh.write(metrics_csv(profile))
+        print(f"wrote {args.metrics_csv}", file=sys.stderr)
+    if args.trace_jsonl:
+        print(f"wrote {args.trace_jsonl}", file=sys.stderr)
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.obs import diff_profiles, load_profile, render_diff
+
+    try:
+        baseline = load_profile(args.baseline)
+        candidate = load_profile(args.candidate)
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"diff: {exc}")
+    diff = diff_profiles(
+        baseline, candidate,
+        baseline_label=args.baseline, candidate_label=args.candidate,
+    )
+    print(render_diff(diff, max_delta_pct=args.max_delta))
+    regressions = diff.regressions(args.max_delta)
+    if regressions:
+        print(f"\n{len(regressions)} metric(s) regressed beyond "
+              f"{args.max_delta}%", file=sys.stderr)
+        return 1
+    print(f"\nno regressions beyond {args.max_delta}%")
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     cfg = _config(args)
     rows = [
@@ -422,6 +507,43 @@ def build_parser() -> argparse.ArgumentParser:
                           action="store_false")
     p_tl.add_argument("--width", type=int, default=72)
     p_tl.set_defaults(func=cmd_timeline)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run one benchmark under the observability subsystem",
+    )
+    common(p_prof)
+    group_prof = p_prof.add_mutually_exclusive_group()
+    group_prof.add_argument("--prefetch", action="store_true", default=True,
+                            help="apply the prefetch pass (default)")
+    group_prof.add_argument("--no-prefetch", dest="prefetch",
+                            action="store_false",
+                            help="profile the original DTA")
+    p_prof.add_argument("--profile", dest="profile_out", default=None,
+                        metavar="FILE",
+                        help="write the full profile as JSON (diffable "
+                             "with 'repro diff')")
+    p_prof.add_argument("--perfetto", default=None, metavar="FILE",
+                        help="write a Chrome/Perfetto trace_event JSON "
+                             "(pipeline, DMA tag-group and bus tracks)")
+    p_prof.add_argument("--metrics-csv", default=None, metavar="FILE",
+                        help="write every hub instrument as flat CSV")
+    p_prof.add_argument("--trace-jsonl", default=None, metavar="FILE",
+                        help="stream the raw profiling events as JSONL")
+    p_prof.add_argument("--bucket-cycles", type=int, default=None,
+                        help="timeseries bucket width in cycles "
+                             "(default 1024)")
+    p_prof.set_defaults(func=cmd_profile)
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two profile JSONs (perf-regression check)"
+    )
+    p_diff.add_argument("baseline", help="baseline profile JSON")
+    p_diff.add_argument("candidate", help="candidate profile JSON")
+    p_diff.add_argument("--max-delta", type=float, default=2.0,
+                        metavar="PCT",
+                        help="regression threshold in percent (default 2)")
+    p_diff.set_defaults(func=cmd_diff)
 
     p_rep = sub.add_parser(
         "reproduce", help="run the full experiment matrix, export JSON/CSV"

@@ -57,6 +57,13 @@ class DSE(Component):
         self._bus = None
         self._machine: "Machine | None" = None
         self._next_dse = None  # ring neighbour for inter-node forwarding
+        # Hub instruments (bound in _bind_metrics; None = observability off).
+        self._m_routed = None
+        self._m_forwarded = None
+
+    def _bind_metrics(self, hub) -> None:
+        self._m_routed = hub.counter(f"{self.name}.fallocs_routed")
+        self._m_forwarded = hub.counter(f"{self.name}.fallocs_forwarded")
 
     def wire(self, bus, machine, next_dse=None) -> None:
         self._bus = bus
@@ -114,9 +121,16 @@ class DSE(Component):
                 hops=msg.hops + 1,
             )
             self._bus.send(self, self._next_dse, fwd)
+            if self._m_forwarded is not None:
+                self._m_forwarded.add()
+            self._trace("falloc-forwarded", requester=msg.requester_spe,
+                        hops=msg.hops + 1)
             return
         spe = self._pick_spe()
         self.load[spe] += 1
+        if self._m_routed is not None:
+            self._m_routed.add()
+        self._trace("falloc-routed", spe=spe, requester=msg.requester_spe)
         self._bus.send(
             self,
             self._machine.endpoint_of(spe),

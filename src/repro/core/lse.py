@@ -133,6 +133,21 @@ class LSE(Component):
         self._falloc_seq = 0
         self._pending_falloc_rd: dict[int, None] = {}
         self._sanitizer = None  # optional Sanitizer
+        # Hub instruments (bound in _bind_metrics; None = observability off).
+        self._m_transitions: dict[ThreadState, object] | None = None
+        self._m_fallocs = None
+        self._m_falloc_waits = None
+
+    def _bind_metrics(self, hub) -> None:
+        self._m_transitions = {
+            state: hub.counter(f"threads.to_{state.value}")
+            for state in ThreadState
+        }
+        self._m_fallocs = hub.counter(f"lse{self.spe_id}.fallocs")
+        self._m_falloc_waits = hub.counter(f"lse{self.spe_id}.falloc_waits")
+
+    def _observe_transition(self, thread, old, new) -> None:
+        self._m_transitions[new].add()
 
     def wire(self, bus, dse, spu, mfc, endpoint, machine,
              sanitizer=None) -> None:
@@ -411,6 +426,8 @@ class LSE(Component):
 
     def _do_falloc(self, template_id: int, sc: int) -> None:
         self.stats.fallocs += 1
+        if self._m_fallocs is not None:
+            self._m_fallocs.add()
         self._falloc_seq += 1
         self._bus.send(
             self._endpoint,
@@ -433,6 +450,8 @@ class LSE(Component):
         elif self.config.virtual_frame_pointers:
             if len(self._virtual) >= self.config.virtual_frame_depth:
                 self.stats.falloc_waits += 1
+                if self._m_falloc_waits is not None:
+                    self._m_falloc_waits.add()
                 self._pending_allocs.append(_PendingAlloc(msg=msg, arrived=now))
                 return
             vaddr = self._next_virtual
@@ -443,6 +462,8 @@ class LSE(Component):
             self._respond_falloc(msg, thread)
         else:
             self.stats.falloc_waits += 1
+            if self._m_falloc_waits is not None:
+                self._m_falloc_waits.add()
             self._pending_allocs.append(_PendingAlloc(msg=msg, arrived=now))
 
     def _create_thread(
@@ -475,6 +496,9 @@ class LSE(Component):
                 self._sanitizer.frame_assigned(self.name, frame.addr)
             frame.assign(tid)
             self._thread_by_frame[frame.addr] = thread
+        if self._m_transitions is not None:
+            thread.on_transition = self._observe_transition
+            self._m_transitions[thread.state].add()  # count the birth state
         self.threads[tid] = thread
         self._machine.thread_created()
         self._trace("thread-created", tid=tid, template=program.name,

@@ -82,6 +82,10 @@ class ThreadInstance:
     created_at: int = 0
     ready_at: int | None = None
     finished_at: int | None = None
+    #: Lifecycle observer, called as ``on_transition(thread, old, new)``
+    #: after every successful transition (observability hook; never
+    #: affects the lifecycle itself).
+    on_transition: object = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.sc < 0:
@@ -115,7 +119,10 @@ class ThreadInstance:
                 f"thread {self.tid}: illegal transition "
                 f"{self.state.value} -> {new.value}"
             )
-        self.state = new
+        old, self.state = self.state, new
+        observer = self.on_transition
+        if observer is not None:
+            observer(self, old, new)
 
     @property
     def runnable(self) -> bool:

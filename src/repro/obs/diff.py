@@ -1,0 +1,168 @@
+"""Profile comparison — the perf-regression check.
+
+:func:`diff_profiles` takes two profile dictionaries (either
+``Profile.to_dict()`` output or a JSON file loaded with
+:func:`load_profile`) and produces a :class:`ProfileDiff`: per-metric
+(baseline, candidate) pairs with absolute and percentage deltas over
+cycles, average pipeline usage, the Figure 5 cycle buckets and the
+machine-wide totals.
+
+``ProfileDiff.regressions(max_delta_pct)`` is the CI gate: metrics
+where *more is worse* (cycles, stall buckets, bus/memory traffic) that
+grew beyond the threshold, plus pipeline usage shrinking beyond it.  A
+profile diffed against itself always yields no regressions, which is
+exactly what the CI smoke job asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+__all__ = ["MetricDelta", "ProfileDiff", "diff_profiles", "load_profile", "render_diff"]
+
+#: Totals where an increase is a regression (cycle buckets are listed
+#: separately — every bucket except ``working`` growing is suspect).
+_MORE_IS_WORSE_TOTALS = frozenset(
+    {"dma_commands", "dma_bytes", "bus_transfers", "bus_bytes",
+     "memory_reads", "memory_writes"}
+)
+_MORE_IS_WORSE_BUCKETS = frozenset(
+    {"idle", "mem_stall", "ls_stall", "lse_stall", "prefetch"}
+)
+
+
+@dataclass
+class MetricDelta:
+    """One compared metric: baseline vs candidate."""
+
+    name: str
+    baseline: float
+    candidate: float
+
+    @property
+    def delta(self) -> float:
+        return self.candidate - self.baseline
+
+    @property
+    def delta_pct(self) -> float:
+        """Percent change relative to baseline (0 when both are zero)."""
+        if self.baseline:
+            return 100.0 * self.delta / self.baseline
+        return 0.0 if not self.candidate else float("inf")
+
+
+@dataclass
+class ProfileDiff:
+    """Structured comparison of two profiles (baseline vs candidate)."""
+
+    baseline_label: str
+    candidate_label: str
+    cycles: MetricDelta
+    pipeline_usage: MetricDelta
+    buckets: list[MetricDelta] = field(default_factory=list)
+    totals: list[MetricDelta] = field(default_factory=list)
+
+    def all_deltas(self) -> list[MetricDelta]:
+        return [self.cycles, self.pipeline_usage, *self.buckets, *self.totals]
+
+    def regressions(self, max_delta_pct: float = 0.0) -> list[MetricDelta]:
+        """Metrics that got worse by more than ``max_delta_pct`` percent.
+
+        Identical profiles return ``[]`` for any threshold ≥ 0.
+        """
+        bad: list[MetricDelta] = []
+        if self.cycles.delta_pct > max_delta_pct:
+            bad.append(self.cycles)
+        # Usage is better when higher; a drop is the regression.
+        if -self.pipeline_usage.delta_pct > max_delta_pct:
+            bad.append(self.pipeline_usage)
+        for d in self.buckets:
+            if d.name.split(".")[-1] in _MORE_IS_WORSE_BUCKETS:
+                if d.delta_pct > max_delta_pct:
+                    bad.append(d)
+        for d in self.totals:
+            if d.name.split(".")[-1] in _MORE_IS_WORSE_TOTALS:
+                if d.delta_pct > max_delta_pct:
+                    bad.append(d)
+        return bad
+
+
+def load_profile(path: "str | os.PathLike") -> dict:
+    """Load a profile JSON file written by ``repro profile --profile``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or "pipeline_usage" not in data:
+        raise ValueError(f"{path}: not a profile JSON file")
+    return data
+
+
+def diff_profiles(
+    baseline: dict,
+    candidate: dict,
+    baseline_label: str = "baseline",
+    candidate_label: str = "candidate",
+) -> ProfileDiff:
+    """Compare two profile dictionaries (``Profile.to_dict()`` shape)."""
+    cycles = MetricDelta(
+        "cycles", float(baseline["cycles"]), float(candidate["cycles"])
+    )
+    usage = MetricDelta(
+        "pipeline_usage.average",
+        float(baseline["pipeline_usage"]["average"]),
+        float(candidate["pipeline_usage"]["average"]),
+    )
+    buckets = []
+    a_buckets = baseline.get("breakdown_cycles", {})
+    b_buckets = candidate.get("breakdown_cycles", {})
+    for name in sorted(set(a_buckets) | set(b_buckets)):
+        buckets.append(
+            MetricDelta(
+                f"breakdown.{name}",
+                float(a_buckets.get(name, 0.0)),
+                float(b_buckets.get(name, 0.0)),
+            )
+        )
+    totals = []
+    a_totals = baseline.get("totals", {})
+    b_totals = candidate.get("totals", {})
+    for name in sorted(set(a_totals) | set(b_totals)):
+        totals.append(
+            MetricDelta(
+                f"totals.{name}",
+                float(a_totals.get(name, 0)),
+                float(b_totals.get(name, 0)),
+            )
+        )
+    return ProfileDiff(
+        baseline_label=baseline_label,
+        candidate_label=candidate_label,
+        cycles=cycles,
+        pipeline_usage=usage,
+        buckets=buckets,
+        totals=totals,
+    )
+
+
+def render_diff(diff: ProfileDiff, max_delta_pct: float | None = None) -> str:
+    """Human-readable comparison table, one metric per row."""
+    regressed = (
+        {id(d) for d in diff.regressions(max_delta_pct)}
+        if max_delta_pct is not None
+        else set()
+    )
+    lines = [
+        f"profile diff: {diff.baseline_label} -> {diff.candidate_label}",
+        f"{'metric':<28} {'baseline':>14} {'candidate':>14} "
+        f"{'delta':>12} {'delta%':>9}",
+    ]
+    for d in diff.all_deltas():
+        pct = d.delta_pct
+        pct_text = f"{pct:+8.2f}%" if pct != float("inf") else "     new "
+        flag = "  << regression" if id(d) in regressed else ""
+        lines.append(
+            f"{d.name:<28} {d.baseline:>14.2f} {d.candidate:>14.2f} "
+            f"{d.delta:>+12.2f} {pct_text}{flag}"
+        )
+    return "\n".join(lines)

@@ -41,12 +41,27 @@ class Component:
         self._scheduled_at: int | None = None
         #: Optional tracer (see :mod:`repro.sim.trace`); None = disabled.
         self._tracer = None
+        #: Optional metrics hub (see :mod:`repro.obs.hub`); None = disabled.
+        self._hub = None
 
     def _trace(self, kind: str, **fields: object) -> None:
         """Record a trace event if a tracer is attached (cheap otherwise)."""
         tracer = self._tracer
         if tracer is not None:
             tracer.emit(self.now, self.name, kind, **fields)
+
+    def bind_hub(self, hub) -> None:
+        """Attach a :class:`~repro.obs.hub.MetricsHub` and bind instruments.
+
+        Called once by ``Machine.attach_hub``; hot paths must only ever
+        consult the instrument attributes created in
+        :meth:`_bind_metrics` (``None`` when no hub is attached).
+        """
+        self._hub = hub
+        self._bind_metrics(hub)
+
+    def _bind_metrics(self, hub) -> None:
+        """Create this component's hub instruments (override as needed)."""
 
     # -- engine wiring -----------------------------------------------------
 

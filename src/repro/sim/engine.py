@@ -61,6 +61,15 @@ class Engine:
         """Current simulation cycle."""
         return self._now
 
+    @property
+    def pending_count(self) -> int:
+        """Queued events, including lazily-deleted stale entries.
+
+        An O(1) upper bound on the real backlog, good enough for the
+        metrics sampler's ``engine.pending_events`` gauge.
+        """
+        return len(self._heap)
+
     # -- scheduling --------------------------------------------------------
 
     def schedule(self, component: Component, cycle: int | None = None) -> None:

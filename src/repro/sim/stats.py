@@ -84,6 +84,10 @@ class TimeBreakdown:
         """All bucket shares, keyed by bucket name."""
         return {b: self.fraction(b) for b in Bucket.ALL}
 
+    def as_dict(self) -> dict[str, float]:
+        """Raw cycles per bucket, keyed by bucket name (for exports)."""
+        return {b: getattr(self, b) for b in Bucket.ALL}
+
     def add(self, bucket: str, cycles: float) -> None:
         if bucket not in Bucket.ALL:
             raise KeyError(f"unknown bucket {bucket!r}")

@@ -1,93 +1,28 @@
-"""Execution tracing.
+"""Execution tracing — backwards-compatible alias of :mod:`repro.obs.trace`.
 
-A :class:`Tracer` records structured events from the simulated hardware —
-thread lifecycle transitions, dispatches and DMA activity — so tests and
-users can observe *why* a run behaved the way it did (e.g. verify that a
-thread really yielded the pipeline at its PF boundary and resumed only
-after its tag group completed).
-
-Tracing is off by default (a ``None`` tracer costs one attribute check
-per would-be event).  Attach one with
-:meth:`repro.cell.machine.Machine.attach_tracer`:
-
->>> from repro.sim.trace import Tracer
->>> tracer = Tracer(kinds={"thread-ready", "dispatch"})   # doctest: +SKIP
->>> machine.attach_tracer(tracer)                         # doctest: +SKIP
->>> machine.run()                                         # doctest: +SKIP
->>> print(tracer.format())                                # doctest: +SKIP
+The tracer grew sinks (JSONL streaming, tees, interval builders) and
+moved into the observability subsystem as tracer v2.  This module keeps
+the historical import path working: ``repro.sim.trace.Tracer`` *is*
+:class:`repro.obs.trace.Tracer`, default-configured with the original
+bounded in-memory event list.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from repro.obs.trace import (
+    JsonlSink,
+    MemorySink,
+    TeeSink,
+    TraceEvent,
+    Tracer,
+    TraceSink,
+)
 
-__all__ = ["TraceEvent", "Tracer"]
-
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One recorded event."""
-
-    cycle: int
-    source: str
-    kind: str
-    fields: Mapping[str, object] = field(default_factory=dict)
-
-    def __str__(self) -> str:
-        extras = " ".join(f"{k}={v}" for k, v in self.fields.items())
-        return f"[{self.cycle:>8}] {self.source:<8} {self.kind:<16} {extras}"
-
-
-class Tracer:
-    """Collects :class:`TraceEvent` records, optionally filtered.
-
-    Parameters
-    ----------
-    kinds:
-        Only record these event kinds (``None`` records everything).
-    limit:
-        Stop recording after this many events (protects long runs from
-        unbounded memory; the ``dropped`` counter keeps the total).
-    """
-
-    def __init__(
-        self, kinds: "Iterable[str] | None" = None, limit: int | None = 100_000
-    ) -> None:
-        self.kinds = frozenset(kinds) if kinds is not None else None
-        self.limit = limit
-        self.events: list[TraceEvent] = []
-        self.dropped = 0
-
-    def emit(self, cycle: int, source: str, kind: str, **fields: object) -> None:
-        if self.kinds is not None and kind not in self.kinds:
-            return
-        if self.limit is not None and len(self.events) >= self.limit:
-            self.dropped += 1
-            return
-        self.events.append(
-            TraceEvent(cycle=cycle, source=source, kind=kind, fields=fields)
-        )
-
-    # -- queries ------------------------------------------------------------
-
-    def of_kind(self, kind: str) -> list[TraceEvent]:
-        return [e for e in self.events if e.kind == kind]
-
-    def of_thread(self, tid: int) -> list[TraceEvent]:
-        return [e for e in self.events if e.fields.get("tid") == tid]
-
-    def kinds_seen(self) -> set[str]:
-        return {e.kind for e in self.events}
-
-    def __len__(self) -> int:
-        return len(self.events)
-
-    def format(self, max_lines: int | None = None) -> str:
-        lines = [str(e) for e in self.events]
-        if max_lines is not None and len(lines) > max_lines:
-            omitted = len(lines) - max_lines
-            lines = lines[:max_lines] + [f"... ({omitted} more events)"]
-        if self.dropped:
-            lines.append(f"... ({self.dropped} events dropped at the limit)")
-        return "\n".join(lines)
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "TraceSink",
+    "MemorySink",
+    "JsonlSink",
+    "TeeSink",
+]

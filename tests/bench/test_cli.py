@@ -178,3 +178,65 @@ class TestTimeline:
             if line.count("|") >= 2
         ]
         assert bars and all("p" not in bar for bar in bars)
+
+
+class TestProfile:
+    def test_profile_writes_all_artifacts(self, tmp_path, capsys):
+        profile = tmp_path / "p.json"
+        trace = tmp_path / "t.trace.json"
+        csv_path = tmp_path / "m.csv"
+        events = tmp_path / "e.jsonl"
+        assert main([
+            "profile", "bitcnt", "--spes", "2",
+            "--profile", str(profile), "--perfetto", str(trace),
+            "--metrics-csv", str(csv_path), "--trace-jsonl", str(events),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline usage" in out
+        assert "DMA intervals overlapped" in out
+        import json
+
+        from repro.obs import validate_trace_events
+
+        data = json.loads(profile.read_text())
+        assert data["version"] == 1
+        doc = json.loads(trace.read_text())
+        assert validate_trace_events(doc) == []
+        assert csv_path.read_text().startswith("instrument,")
+        assert events.read_text().splitlines()
+
+    def test_profile_no_prefetch(self, capsys):
+        assert main(["profile", "bitcnt", "--spes", "1",
+                     "--no-prefetch"]) == 0
+        assert "original DTA" in capsys.readouterr().out
+
+
+class TestDiff:
+    def test_self_diff_passes_at_zero_threshold(self, tmp_path, capsys):
+        profile = tmp_path / "p.json"
+        assert main(["profile", "bitcnt", "--spes", "1",
+                     "--profile", str(profile)]) == 0
+        capsys.readouterr()
+        assert main(["diff", str(profile), str(profile),
+                     "--max-delta", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "no regressions" in out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        import json
+
+        profile = tmp_path / "p.json"
+        assert main(["profile", "bitcnt", "--spes", "1",
+                     "--profile", str(profile)]) == 0
+        capsys.readouterr()
+        data = json.loads(profile.read_text())
+        data["cycles"] = int(data["cycles"] * 2)
+        worse = tmp_path / "worse.json"
+        worse.write_text(json.dumps(data))
+        assert main(["diff", str(profile), str(worse),
+                     "--max-delta", "2"]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_missing_file_rejected(self):
+        with pytest.raises(SystemExit, match="diff:"):
+            main(["diff", "/nonexistent/a.json", "/nonexistent/b.json"])

@@ -48,3 +48,23 @@ class TestTimeline:
         for line in tl.render(width=40).splitlines()[1:-1]:
             bar = line.split("|")[1]
             assert len(bar) == 40
+
+    def test_golden_render(self):
+        """Byte-exact output on a fixed event sequence.
+
+        Pins the rendering across the port to the shared interval
+        reconstruction: pf segment, idle gap, run segment, fractions,
+        header and legend all unchanged.
+        """
+        tracer = Tracer()
+        tracer.emit(0, "spu0", "dispatch", tid=1, template="t", pf=True)
+        tracer.emit(40, "spu0", "yield-dma", tid=1)
+        tracer.emit(60, "spu0", "dispatch", tid=1, template="t", pf=False)
+        tracer.emit(100, "spu0", "thread-stop", tid=1)
+        tl = Timeline(tracer, 100)
+        assert tl.busy_fraction("spu0") == 0.8
+        assert tl.render(width=20) == (
+            "0   cycles   100\n"
+            "  spu0 |pppppppp....########| 80.0% busy\n"
+            "legend: # executing, p prefetch block, . idle"
+        )

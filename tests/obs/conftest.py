@@ -1,0 +1,28 @@
+"""Shared profiled runs for the observability tests.
+
+Profiled runs are deterministic and moderately expensive, so the two
+configurations several test modules inspect are session-scoped: a 2-SPE
+bitcnt run (small, fast) and the acceptance-criterion 8-SPE mmul run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.scale import builders
+from repro.obs import profile_workload
+from repro.sim.config import paper_config
+
+
+@pytest.fixture(scope="session")
+def bitcnt_profiled():
+    """(result, profile) of prefetched bitcnt on 2 SPEs at test scale."""
+    workload = builders("test")["bitcnt"]()
+    return profile_workload(workload, paper_config(2), prefetch=True)
+
+
+@pytest.fixture(scope="session")
+def mmul8_profiled():
+    """(result, profile) of prefetched mmul on the paper's 8-SPE machine."""
+    workload = builders("test")["mmul"]()
+    return profile_workload(workload, paper_config(8), prefetch=True)

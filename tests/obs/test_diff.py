@@ -1,0 +1,114 @@
+"""Profile diffing: the perf-regression gate."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.obs.diff import (
+    MetricDelta,
+    diff_profiles,
+    load_profile,
+    render_diff,
+)
+
+
+def sample_profile() -> dict:
+    return {
+        "version": 1,
+        "activity": "bitcnt(24)",
+        "prefetch": True,
+        "spes": 2,
+        "cycles": 10_000,
+        "pipeline_usage": {"average": 0.5, "per_spu": [0.5, 0.5]},
+        "breakdown_cycles": {
+            "working": 5000.0,
+            "idle": 1000.0,
+            "mem_stall": 3000.0,
+            "ls_stall": 500.0,
+            "lse_stall": 400.0,
+            "prefetch": 100.0,
+        },
+        "totals": {"dma_commands": 20, "bus_bytes": 4096, "threads": 10},
+    }
+
+
+class TestSelfDiff:
+    def test_zero_deltas_and_no_regressions(self):
+        p = sample_profile()
+        diff = diff_profiles(p, copy.deepcopy(p))
+        assert all(d.delta == 0 for d in diff.all_deltas())
+        assert diff.regressions(0.0) == []
+        assert diff.regressions(5.0) == []
+
+    def test_real_profile_self_diff(self, bitcnt_profiled):
+        _, profile = bitcnt_profiled
+        diff = diff_profiles(profile.to_dict(), profile.to_dict())
+        assert diff.regressions(0.0) == []
+
+
+class TestRegressionDetection:
+    def test_cycle_growth_flagged(self):
+        base, cand = sample_profile(), sample_profile()
+        cand["cycles"] = 11_000
+        diff = diff_profiles(base, cand)
+        names = [d.name for d in diff.regressions(2.0)]
+        assert "cycles" in names
+        assert diff.regressions(15.0) == []
+
+    def test_usage_drop_flagged(self):
+        base, cand = sample_profile(), sample_profile()
+        cand["pipeline_usage"]["average"] = 0.4
+        assert [d.name for d in diff_profiles(base, cand).regressions(2.0)] \
+            == ["pipeline_usage.average"]
+
+    def test_stall_growth_flagged_but_working_growth_is_not(self):
+        base, cand = sample_profile(), sample_profile()
+        cand["breakdown_cycles"]["mem_stall"] = 4000.0
+        cand["breakdown_cycles"]["working"] = 9000.0
+        names = [d.name for d in diff_profiles(base, cand).regressions(2.0)]
+        assert names == ["breakdown.mem_stall"]
+
+    def test_traffic_growth_flagged(self):
+        base, cand = sample_profile(), sample_profile()
+        cand["totals"]["bus_bytes"] = 8192
+        names = [d.name for d in diff_profiles(base, cand).regressions(2.0)]
+        assert names == ["totals.bus_bytes"]
+
+
+class TestMetricDelta:
+    def test_percent(self):
+        assert MetricDelta("m", 100, 110).delta_pct == pytest.approx(10.0)
+        assert MetricDelta("m", 0, 0).delta_pct == 0.0
+        assert MetricDelta("m", 0, 5).delta_pct == float("inf")
+
+
+class TestRendering:
+    def test_table_lists_every_metric(self):
+        diff = diff_profiles(sample_profile(), sample_profile())
+        text = render_diff(diff)
+        assert "cycles" in text
+        assert "breakdown.mem_stall" in text
+        assert "totals.dma_commands" in text
+        assert "regression" not in text
+
+    def test_regressions_marked(self):
+        base, cand = sample_profile(), sample_profile()
+        cand["cycles"] = 20_000
+        text = render_diff(diff_profiles(base, cand), max_delta_pct=2.0)
+        assert "<< regression" in text
+
+
+class TestLoadProfile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "p.json"
+        path.write_text(json.dumps(sample_profile()))
+        assert load_profile(path)["cycles"] == 10_000
+
+    def test_rejects_non_profile_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError, match="not a profile"):
+            load_profile(path)

@@ -1,0 +1,99 @@
+"""Perfetto export: schema validity, round-tripping, DMA overlap proof."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import dma_overlap_count, to_perfetto, validate_trace_events
+
+
+class TestBitcntTrace:
+    def test_validates_against_trace_event_schema(self, bitcnt_profiled):
+        _, profile = bitcnt_profiled
+        doc = to_perfetto(profile)
+        assert validate_trace_events(doc) == []
+
+    def test_round_trips_through_json(self, bitcnt_profiled):
+        _, profile = bitcnt_profiled
+        doc = to_perfetto(profile)
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_one_pipeline_track_per_spu(self, bitcnt_profiled):
+        _, profile = bitcnt_profiled
+        events = to_perfetto(profile)["traceEvents"]
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name" and e["pid"] == 1
+        }
+        assert {"spu0", "spu1"} <= names
+        for spu in (0, 1):
+            assert any(
+                e["ph"] == "B" and e["pid"] == 1 and e["tid"] == spu
+                for e in events
+            )
+
+    def test_dma_tag_group_tracks_are_async(self, bitcnt_profiled):
+        _, profile = bitcnt_profiled
+        events = to_perfetto(profile)["traceEvents"]
+        opens = [e for e in events if e["ph"] == "b"]
+        assert opens, "expected async DMA events"
+        assert all(e["cat"] == "dma" and e["pid"] == 2 for e in opens)
+        closes = [e for e in events if e["ph"] == "e"]
+        assert len(opens) == len(closes)
+
+    def test_timestamps_monotonic(self, bitcnt_profiled):
+        _, profile = bitcnt_profiled
+        ts = [e["ts"] for e in to_perfetto(profile)["traceEvents"]]
+        assert ts == sorted(ts)
+
+
+class TestMmul8Acceptance:
+    def test_dma_overlaps_other_threads_execution(self, mmul8_profiled):
+        """The paper's point, asserted on the 8-SPE machine: at least one
+        DMA interval runs while a *different* thread executes."""
+        _, profile = mmul8_profiled
+        assert dma_overlap_count(profile) >= 1
+
+    def test_all_eight_pipelines_have_tracks(self, mmul8_profiled):
+        _, profile = mmul8_profiled
+        doc = to_perfetto(profile)
+        assert validate_trace_events(doc) == []
+        busy_spus = {
+            e["tid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "B" and e["pid"] == 1
+        }
+        assert busy_spus == set(range(8))
+
+
+class TestValidator:
+    def test_rejects_unbalanced_begin(self):
+        doc = {"traceEvents": [
+            {"ph": "B", "ts": 0, "pid": 1, "tid": 0, "name": "x"},
+        ]}
+        assert any("unclosed B" in e for e in validate_trace_events(doc))
+
+    def test_rejects_end_without_begin(self):
+        doc = {"traceEvents": [
+            {"ph": "E", "ts": 0, "pid": 1, "tid": 0, "name": "x"},
+        ]}
+        assert any("empty stack" in e for e in validate_trace_events(doc))
+
+    def test_rejects_decreasing_timestamps(self):
+        doc = {"traceEvents": [
+            {"ph": "B", "ts": 5, "pid": 1, "tid": 0, "name": "x"},
+            {"ph": "E", "ts": 1, "pid": 1, "tid": 0, "name": "x"},
+        ]}
+        assert any("decreases" in e for e in validate_trace_events(doc))
+
+    def test_rejects_async_end_without_begin(self):
+        doc = {"traceEvents": [
+            {"ph": "e", "ts": 0, "pid": 2, "tid": 0, "cat": "dma", "id": "d"},
+        ]}
+        assert any("without open b" in e for e in validate_trace_events(doc))
+
+    def test_rejects_missing_events(self):
+        assert validate_trace_events({}) == [
+            "traceEvents missing or not a list"
+        ]

@@ -1,0 +1,134 @@
+"""The profiler as an independent witness of the stats pipeline."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.export import run_to_dict
+from repro.bench.scale import builders
+from repro.obs import Profile, metrics_csv, profile_activity, profile_workload
+from repro.sim.config import paper_config
+from repro.sim.stats import Bucket
+
+
+class TestAgreementWithStats:
+    """Hub-derived numbers must reproduce MachineStats, not approximate it."""
+
+    def test_pipeline_usage_matches_stats(self, bitcnt_profiled):
+        result, profile = bitcnt_profiled
+        stats_usage = [s.pipeline_usage for s in result.stats.spus]
+        assert profile.pipeline_usage_per_spu == pytest.approx(
+            stats_usage, rel=1e-3
+        )
+        assert profile.average_pipeline_usage == pytest.approx(
+            result.stats.average_pipeline_usage, rel=1e-3
+        )
+
+    def test_breakdown_matches_stats(self, bitcnt_profiled):
+        result, profile = bitcnt_profiled
+        avg = result.stats.average_breakdown
+        for bucket in Bucket.ALL:
+            assert profile.breakdown_cycles[bucket] == pytest.approx(
+                getattr(avg, bucket), abs=8
+            ), bucket
+
+    def test_profiled_run_is_timing_neutral(self):
+        from repro.bench.runner import run_workload
+
+        plain = run_workload(
+            builders("test")["bitcnt"](), paper_config(2), prefetch=True
+        )
+        result, _ = profile_workload(
+            builders("test")["bitcnt"](), paper_config(2), prefetch=True
+        )
+        assert result.cycles == plain.cycles
+        assert result.stats.mix.total == plain.stats.mix.total
+
+    def test_totals_match_stats(self, bitcnt_profiled):
+        result, profile = bitcnt_profiled
+        assert profile.totals["dma_commands"] == result.stats.mfc.commands
+        assert profile.totals["bus_transfers"] == result.stats.bus.transfers
+        assert profile.totals["instructions"] == result.stats.mix.total
+
+
+class TestProfileSerialization:
+    def test_round_trip(self, bitcnt_profiled):
+        _, profile = bitcnt_profiled
+        clone = Profile.from_dict(json.loads(profile.to_json()))
+        assert clone.cycles == profile.cycles
+        assert clone.pipeline_usage_per_spu == profile.pipeline_usage_per_spu
+        assert clone.totals == profile.totals
+
+    def test_unknown_version_rejected(self, bitcnt_profiled):
+        _, profile = bitcnt_profiled
+        data = profile.to_dict()
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            Profile.from_dict(data)
+
+    def test_export_embeds_summary(self, bitcnt_profiled):
+        result, profile = bitcnt_profiled
+        d = run_to_dict(result, profile=profile)
+        assert d["obs"]["pipeline_usage"] == profile.average_pipeline_usage
+        assert d["obs"]["totals"]["dma_commands"] == (
+            profile.totals["dma_commands"]
+        )
+        assert "obs" not in run_to_dict(result)
+
+    def test_metrics_csv(self, bitcnt_profiled):
+        _, profile = bitcnt_profiled
+        lines = metrics_csv(profile).splitlines()
+        assert lines[0] == "instrument,name,bucket_start,value,extra"
+        kinds = {line.split(",")[0] for line in lines[1:]}
+        assert kinds == {"counter", "series", "gauge"}
+
+
+class TestEntryPoints:
+    def test_profile_activity_raw(self):
+        workload = builders("test")["bitcnt"]()
+        result, profile = profile_activity(
+            workload.activity, config=paper_config(1)
+        )
+        assert result.cycles > 0
+        assert profile.spes == 1
+        assert profile.prefetch is False
+
+    def test_trace_jsonl_streams_events(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        profile_workload(
+            builders("test")["bitcnt"](), paper_config(1),
+            prefetch=True, trace_jsonl=path,
+        )
+        lines = path.read_text().splitlines()
+        assert lines
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "dispatch" in kinds
+        assert "dma-command" in kinds
+
+    def test_wrong_output_raises(self):
+        workload = builders("test")["bitcnt"]()
+        key = next(iter(workload.oracle))
+        workload.oracle[key] = [v + 1 for v in workload.oracle[key]]
+        with pytest.raises(AssertionError, match="wrong"):
+            profile_workload(workload, paper_config(1), prefetch=True)
+
+
+class TestBoundedMemory:
+    def test_ring_eviction_keeps_totals(self):
+        """Tiny ring: buckets drop, totals and usage stay exact."""
+        from repro.obs.hub import HubConfig
+
+        workload = builders("test")["bitcnt"]()
+        result, profile = profile_workload(
+            workload, paper_config(2), prefetch=True,
+            hub_config=HubConfig(bucket_cycles=64, max_buckets=4,
+                                 sample_interval=64),
+        )
+        series = profile.metrics["series"]
+        assert any(s["dropped_buckets"] > 0 for s in series.values())
+        assert all(len(s["points"]) <= 4 for s in series.values())
+        assert profile.average_pipeline_usage == pytest.approx(
+            result.stats.average_pipeline_usage, rel=1e-3
+        )
