@@ -36,7 +36,7 @@ class BusEndpoint:
         raise NotImplementedError
 
 
-@dataclass
+@dataclass(slots=True)
 class _Transfer:
     src_node: int
     dst: BusEndpoint

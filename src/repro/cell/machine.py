@@ -218,10 +218,12 @@ class Machine:
         self.ppe.load(activity)
 
     def _done(self) -> bool:
+        # Checked between every dispatched cycle: cheap int comparisons
+        # first, the multi-attribute ppe.done property last.
         return (
-            self.ppe.done
-            and self.threads_created > 0
+            self.threads_created > 0
             and self.threads_completed == self.threads_created
+            and self.ppe.done
         )
 
     def _progress_snapshot(self) -> tuple[int, int, int]:

@@ -50,7 +50,7 @@ class DmaKind(enum.Enum):
     PUT = "put"  # LS -> main memory (write-back extension)
 
 
-@dataclass
+@dataclass(slots=True)
 class DmaCommand:
     """One queued DMA command."""
 

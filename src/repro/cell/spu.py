@@ -44,12 +44,30 @@ from typing import Callable
 from repro.cell.mfc import DmaKind
 from repro.core.messages import ReadRequest, WriteRequest
 from repro.core.thread import ThreadInstance, ThreadState
+from repro.isa.decoded import (
+    D_AREG,
+    D_AVAL,
+    D_BREG,
+    D_BVAL,
+    D_FF,
+    D_FN,
+    D_HAZ,
+    D_KIND,
+    D_LAT,
+    D_MEM,
+    D_NAME,
+    D_RD,
+    D_TARGET,
+    K_ALU,
+    K_BRANCH,
+)
 from repro.isa.instructions import Imm, Instruction, Reg
 from repro.isa.opcodes import Op, Slot, Unit
 from repro.isa.program import BlockKind
 from repro.isa.semantics import alu_result, branch_taken
 from repro.sim.component import Component
 from repro.sim.config import MachineConfig, SPUConfig
+from repro.sim.fastpath import fast_enabled
 from repro.sim.stats import Bucket, SpuStats
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -113,6 +131,12 @@ class SPU(Component):
         self.regs = [0] * config.num_registers
         self._scoreboard: dict[int, tuple[int, Unit]] = {}
         self._pf_end = 0
+        # Fast path (see docs/PERFORMANCE.md).  The flag is latched at
+        # construction so one machine never mixes paths mid-run; _dec is
+        # the running thread's DecodedProgram (None = use the slow path).
+        self._fast = fast_enabled()
+        self._dec = None
+        self._regs_zero = [0] * config.num_registers
         # Pipeline control.
         self._state = _State.IDLE
         self._stall_start = 0
@@ -264,6 +288,8 @@ class SPU(Component):
                 return None
             if self._state is not _State.RUNNING:
                 return None  # dispatch entered a timed wait
+        if self._dec is not None:
+            return self._issue_cycle_fast(now)
         return self._issue_cycle(now)
 
     # -- dispatch -----------------------------------------------------------------------
@@ -277,8 +303,9 @@ class SPU(Component):
             self._state = _State.IDLE
             return False
         self.thread = thread
-        self.regs = [0] * self.config.num_registers
+        self.regs[:] = self._regs_zero  # reuse the register file allocation
         self._scoreboard.clear()
+        self._dec = thread.program.decoded if self._fast else None
         ranges = thread.program.block_ranges
         self._pf_end = ranges[BlockKind.PF][1] if BlockKind.PF in ranges else 0
         if thread.program.has_prefetch and not thread.prefetch_done:
@@ -303,6 +330,7 @@ class SPU(Component):
         self.pc = 0
         self._pf_end = 0
         self._scoreboard.clear()
+        self._dec = None
 
     # -- hazards ----------------------------------------------------------------------------
 
@@ -442,6 +470,213 @@ class SPU(Component):
             self._account(bucket, 1 + penalty)
         elif penalty:
             self._account(bucket, penalty)
+
+    # -- the decoded issue loop (fast path) ----------------------------------------------------
+
+    def _issue_cycle_fast(self, now: int) -> int | None:
+        """Decoded mirror of :meth:`_issue_cycle`.
+
+        Cycle-for-cycle identical to the slow path — the equivalence
+        suite (``tests/integration/test_fastpath.py``) enforces it — but
+        reads pre-resolved :mod:`repro.isa.decoded` rows instead of
+        re-deriving specs/operands per visit, and inlines ALU/branch
+        execution.  Structural ops (LS, memory, scheduler, DMA) still run
+        through the single-source :meth:`_dispatch_op`.
+
+        When the next instructions form a straight-line ALU run and no
+        per-cycle observer is attached, defers to :meth:`_fast_forward`
+        to retire the whole run in one tick.
+        """
+        thread = self.thread
+        assert thread is not None
+        rows = self._dec.rows
+        pc = self.pc
+        pf_end = self._pf_end
+        # Fast-forward only outside PF blocks (no Prefetching-bucket
+        # routing, no PF-boundary yield inside a window) and only when
+        # nothing needs per-cycle visibility: no tracer, no metrics hub.
+        # The sanitizer and fault injector never observe the SPU, and
+        # nothing external can interrupt a RUNNING pipeline, so window
+        # side effects at tick-time are indistinguishable from the
+        # per-cycle schedule.
+        if (
+            (not pf_end or pc > pf_end or thread.prefetch_done)
+            and pc < len(rows)
+            and rows[pc][D_FF] >= 2
+            and self._m_buckets is None
+            and self._tracer is None
+        ):
+            return self._fast_forward(now, rows)
+        program = thread.program
+        flat = program.flat
+        issued = 0
+        mem_used = False
+        alu_used = False
+        penalty = 0
+        cycle_bucket = self._bucket(Bucket.WORKING)
+        regs = self.regs
+        sb = self._scoreboard
+        stats = self.stats
+        while issued < self.config.issue_width:
+            # PF-block boundary: yield the pipeline if DMA is outstanding.
+            if pf_end and self.pc == pf_end and not thread.prefetch_done:
+                if issued:
+                    break  # handle the boundary at the top of the next cycle
+                assert self._lse is not None
+                if self._lse.thread_wait_dma(thread):
+                    self._trace("yield-dma", tid=thread.tid,
+                                tags=sorted(thread.pending_tags))
+                    self._detach()
+                    if not self._try_dispatch(now):
+                        return None
+                    return now + 1 if self._state is _State.RUNNING else None
+                thread.transition(ThreadState.EXECUTING)
+            if self.pc >= len(flat):
+                raise SpuFault(
+                    f"{self.name}: fell off the end of {program.name!r} "
+                    f"(missing STOP?)"
+                )
+            row = rows[self.pc]
+            if row[D_MEM]:
+                if mem_used:
+                    break
+            elif alu_used:
+                break
+            # Scoreboard scan: same register order and same expired-entry
+            # deletions as _hazard/_pending, so residual state matches.
+            worst_ready = 0
+            worst_unit = None
+            for r in row[D_HAZ]:
+                e = sb.get(r)
+                if e is not None:
+                    if e[0] <= now:
+                        del sb[r]
+                    elif e[0] > worst_ready:
+                        worst_ready, worst_unit = e
+            if worst_unit is not None:
+                if issued == 0:
+                    self._block_timed(
+                        worst_ready, self._bucket(_UNIT_BUCKET[worst_unit])
+                    )
+                    return self._timed_until
+                break
+            kind = row[D_KIND]
+            if kind == K_ALU:
+                fn = row[D_FN]
+                if fn is not None:  # None = NOP
+                    ar = row[D_AREG]
+                    a = regs[ar] if ar is not None else row[D_AVAL]
+                    br = row[D_BREG]
+                    b = regs[br] if br is not None else row[D_BVAL]
+                    rd = row[D_RD]
+                    regs[rd] = fn(a, b)
+                    lat = row[D_LAT]
+                    if lat > 1:
+                        sb[rd] = (now + lat, Unit.PIPE)
+                self.pc += 1
+                issued += 1
+                stats.mix.record(row[D_NAME])
+                alu_used = True
+                continue
+            if kind == K_BRANCH:
+                ar = row[D_AREG]
+                a = regs[ar] if ar is not None else row[D_AVAL]
+                br = row[D_BREG]
+                b = regs[br] if br is not None else row[D_BVAL]
+                issued += 1
+                stats.mix.record(row[D_NAME])
+                alu_used = True
+                if row[D_FN](a, b):
+                    self.pc = row[D_TARGET]
+                    penalty = self.config.branch_taken_penalty
+                    break
+                self.pc += 1
+                continue
+            # Structural ops: the single-source slow-path implementation.
+            instr = flat[self.pc]
+            outcome = self._dispatch_op(instr, now, issued)
+            if outcome == "blocked":
+                assert issued == 0
+                return self._timed_until if self._state is _State.TIMED else None
+            if outcome == "retry":
+                break  # structural conflict; retry next cycle
+            issued += 1
+            stats.mix.record(row[D_NAME])
+            mem_used = True  # every delegated op occupies the MEM slot
+            if outcome == "stop":
+                self._detach()
+                self._charge_issue(issued, now, penalty, cycle_bucket)
+                if not self._try_dispatch(now):
+                    return None
+                if self._state is _State.TIMED:
+                    # The issue cycle is already charged; the dispatch
+                    # stall starts next cycle.
+                    self._stall_start = now + 1
+                    return self._timed_until
+                return now + 1
+            if outcome == "yielded" or self._state is not _State.RUNNING:
+                # A blocking op issued and is now waiting (READ, FALLOC...).
+                self._charge_issue(issued, now, penalty, cycle_bucket)
+                self._stall_start = now + 1
+                return self._timed_until if self._state is _State.TIMED else None
+        self._charge_issue(issued, now, penalty, cycle_bucket)
+        return now + 1 + penalty
+
+    def _fast_forward(self, now: int, rows) -> int:
+        """Retire a straight-line ALU run in one tick.
+
+        Engaged by :meth:`_issue_cycle_fast` when ``rows[pc][D_FF] >= 2``,
+        the pc is past any PF block and nothing observes per-cycle state.
+        Replays the per-cycle loop exactly: one ALU issue per cycle (the
+        successor rule in :func:`~repro.isa.decoded.decode_program`
+        guarantees the slow path could never dual-issue inside the run)
+        and scoreboard stalls that advance ``now`` to the writer's ready
+        cycle, with the same stats credited in bulk.  The event engine
+        never visits the interior cycles.  Returns the next tick cycle.
+        """
+        stats = self.stats
+        regs = self.regs
+        sb = self._scoreboard
+        by_opcode = stats.mix.by_opcode
+        pc = self.pc
+        end = pc + rows[pc][D_FF]
+        issue_cycles = 0
+        while pc < end:
+            row = rows[pc]
+            worst_ready = 0
+            worst_unit = None
+            for r in row[D_HAZ]:
+                e = sb.get(r)
+                if e is not None:
+                    if e[0] <= now:
+                        del sb[r]
+                    elif e[0] > worst_ready:
+                        worst_ready, worst_unit = e
+            if worst_unit is not None:
+                # The slow path would block TIMED until worst_ready and
+                # charge the same bucket for the same interval.
+                self._account(_UNIT_BUCKET[worst_unit], worst_ready - now)
+                now = worst_ready
+                continue
+            fn = row[D_FN]
+            if fn is not None:  # None = NOP
+                ar = row[D_AREG]
+                a = regs[ar] if ar is not None else row[D_AVAL]
+                br = row[D_BREG]
+                b = regs[br] if br is not None else row[D_BVAL]
+                rd = row[D_RD]
+                regs[rd] = fn(a, b)
+                lat = row[D_LAT]
+                if lat > 1:
+                    sb[rd] = (now + lat, Unit.PIPE)
+            by_opcode[row[D_NAME]] += 1
+            pc += 1
+            issue_cycles += 1
+            now += 1
+        self.pc = pc
+        stats.issue_cycles += issue_cycles
+        self._account(Bucket.WORKING, issue_cycles)
+        return now
 
     # -- per-opcode execution -------------------------------------------------------------------
 

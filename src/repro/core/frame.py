@@ -59,7 +59,7 @@ def handle_addr(handle: int) -> int:
     return unpack_handle(handle)[1]
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """Bookkeeping for one physical frame slot in an LSE's frame table."""
 

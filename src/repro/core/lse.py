@@ -65,7 +65,7 @@ class SchedulerError(RuntimeError):
     """A protocol violation inside the distributed scheduler."""
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingAlloc:
     """An AllocFrame that found no free frame (non-virtual mode)."""
 
@@ -601,7 +601,7 @@ class LSE(Component):
             self.allocator.free(addr, size)
         thread.ls_buffers.clear()
         self._retry_lsallocs()
-        if thread.frame_addr is not None and not getattr(thread, "frame_freed", False):
+        if thread.frame_addr is not None and not thread.frame_freed:
             self._release_frame(thread)
         del self.threads[thread.tid]
         self._machine.thread_completed()
@@ -616,7 +616,7 @@ class LSE(Component):
         frame.release()
         del self._thread_by_frame[thread.frame_addr]
         thread.frame_addr = None
-        thread.frame_freed = True  # type: ignore[attr-defined]
+        thread.frame_freed = True
         self.stats.ffrees += 1
         self._bus.send(self._endpoint, self._dse, FrameFreed(spe_id=self.spe_id))
         self._serve_pending_alloc(frame)

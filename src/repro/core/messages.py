@@ -11,6 +11,9 @@ The reproduction adds two bookkeeping messages that a hardware
 implementation would fold into the same wires: ``FrameFreed`` (LSE -> DSE
 load accounting) and ``DmaComplete`` (MFC -> local LSE; never crosses the
 bus because MFC and LSE sit in the same SPE).
+
+Messages are allocated on the simulator's hot path (one per store, per
+bus flit, per DMA chunk), so every class uses ``slots=True``.
 """
 
 from __future__ import annotations
@@ -38,7 +41,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """Base class: every message knows its wire size."""
 
@@ -47,7 +50,7 @@ class Message:
         return 16
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FallocRequest(Message):
     """LSE -> DSE: a thread asked for a new frame (FALLOC).
 
@@ -63,7 +66,7 @@ class FallocRequest(Message):
     hops: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AllocFrame(Message):
     """DSE -> target LSE: allocate a frame for a new thread here."""
 
@@ -73,7 +76,7 @@ class AllocFrame(Message):
     sc: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FallocResponse(Message):
     """Target LSE -> requesting LSE: the new thread's frame handle."""
 
@@ -82,7 +85,7 @@ class FallocResponse(Message):
     tid: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StoreMsg(Message):
     """LSE -> LSE: store one word into a remote frame (decrements SC)."""
 
@@ -95,7 +98,7 @@ class StoreMsg(Message):
         return 16  # header + address + 4-byte datum, rounded to flit
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FFreeMsg(Message):
     """Explicit FFREE of a remote frame handle."""
 
@@ -106,7 +109,7 @@ class FFreeMsg(Message):
         return 8
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FrameFreed(Message):
     """LSE -> DSE: a frame was released (load bookkeeping)."""
 
@@ -120,7 +123,7 @@ class FrameFreed(Message):
 # -- main-memory traffic -------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadRequest(Message):
     """SPU -> main memory: scalar READ of one word."""
 
@@ -133,7 +136,7 @@ class ReadRequest(Message):
         return 8
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadResponse(Message):
     """Main memory -> SPU: the word for a scalar READ."""
 
@@ -145,7 +148,7 @@ class ReadResponse(Message):
         return 8  # 4-byte datum padded to one bus flit
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteRequest(Message):
     """SPU -> main memory: posted scalar WRITE of one word."""
 
@@ -158,7 +161,7 @@ class WriteRequest(Message):
         return 12
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteAck(Message):
     """Main memory -> SPU: a posted WRITE was accepted (store-queue credit)."""
 
@@ -169,7 +172,7 @@ class WriteAck(Message):
         return 8
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CacheFillRequest(Message):
     """Data cache -> main memory: fetch one line."""
 
@@ -182,7 +185,7 @@ class CacheFillRequest(Message):
         return 8
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CacheFillResponse(Message):
     """Main memory -> data cache: one line of data."""
 
@@ -195,7 +198,7 @@ class CacheFillResponse(Message):
         return 4 * len(self.words)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DmaReadRequest(Message):
     """MFC -> main memory: fetch one DMA chunk."""
 
@@ -210,7 +213,7 @@ class DmaReadRequest(Message):
         return 8
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DmaGatherRequest(Message):
     """MFC -> main memory: gather ``count`` words, one every ``stride`` B."""
 
@@ -226,7 +229,7 @@ class DmaGatherRequest(Message):
         return 16  # address + count + stride + ids
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DmaReadResponse(Message):
     """Main memory -> MFC: one DMA chunk of data."""
 
@@ -240,7 +243,7 @@ class DmaReadResponse(Message):
         return 4 * len(self.words)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DmaWriteRequest(Message):
     """MFC -> main memory: one DMA write-back chunk (DMAPUT)."""
 

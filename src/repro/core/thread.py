@@ -58,9 +58,12 @@ _TRANSITIONS: dict[ThreadState, frozenset[ThreadState]] = {
 }
 
 
-@dataclass
+@dataclass(slots=True)
 class ThreadInstance:
-    """One dynamic thread: a template bound to a frame and an SC."""
+    """One dynamic thread: a template bound to a frame and an SC.
+
+    Thousands are allocated per benchmark run, hence ``slots=True``.
+    """
 
     tid: int
     template_id: int
@@ -78,6 +81,8 @@ class ThreadInstance:
     ls_buffers: list[tuple[int, int]] = field(default_factory=list)
     #: True once the PF block has run (a resumed thread skips PF).
     prefetch_done: bool = False
+    #: True once the LSE released this thread's frame (STOP or FFREE).
+    frame_freed: bool = False
     #: Cycle bookkeeping (diagnostics only).
     created_at: int = 0
     ready_at: int | None = None

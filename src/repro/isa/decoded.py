@@ -1,0 +1,273 @@
+"""Decoded-instruction cache: per-program flat execution tables.
+
+The hot loops of the SPU pipeline model and the functional interpreter
+used to re-derive everything about an :class:`~repro.isa.instructions.
+Instruction` on every visit: ``instr.spec`` (a dict lookup keyed by enum
+hash), ``isinstance`` checks on operands, enum identity chains in
+``alu_result``.  Per paper-benchmark run those lookups happen hundreds of
+thousands of times on immutable data.
+
+:func:`decode_program` resolves all of it **once per program** into flat
+tuples — one row per flat instruction — holding:
+
+* a small-int dispatch ``kind`` (ALU / branch / each memory-ish op),
+* pre-resolved operands (register index *or* immediate value, with the
+  ALU ``imm``-as-``rb`` fallback already folded in),
+* the value function (one tiny closure per opcode instead of the
+  ``alu_result`` if-chain; ``tests/isa/test_decoded.py`` pins these to
+  :func:`~repro.isa.semantics.alu_result` /
+  :func:`~repro.isa.semantics.branch_taken` so they cannot drift),
+* the scoreboard-checked register set and the result latency,
+* ``ff``: the **fast-forward run length** starting at this pc — the
+  number of consecutive ALU instructions the SPU may execute inside a
+  single tick without any per-cycle observer noticing (see
+  ``SPU._fast_forward`` and ``docs/PERFORMANCE.md``).
+
+Rows are plain tuples indexed by the ``D_*`` constants (attribute access
+is what we are deleting from the hot path).  The decoded table attaches
+lazily to :class:`~repro.isa.program.ThreadProgram` via its ``decoded``
+property and is dropped entirely when ``REPRO_SIM_FAST=0``.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.isa.opcodes import Op, Slot, spec_of
+from repro.isa.instructions import Imm, Reg
+from repro.isa.semantics import (
+    ArithmeticFault,
+    to_unsigned64,
+    wrap64,
+)
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.isa.program import ThreadProgram
+
+__all__ = [
+    "DecodedProgram",
+    "decode_program",
+    # row field indices
+    "D_KIND", "D_AREG", "D_AVAL", "D_BREG", "D_BVAL", "D_RD", "D_IMM",
+    "D_TARGET", "D_TAG", "D_STRIDE", "D_LAT", "D_HAZ", "D_FN", "D_NAME",
+    "D_MEM", "D_FF",
+    # dispatch kinds
+    "K_ALU", "K_BRANCH", "K_LOAD", "K_STOREF", "K_STORE", "K_LLOAD",
+    "K_LSTORE", "K_READ", "K_WRITE", "K_DMAGET", "K_DMAGETS", "K_DMAPUT",
+    "K_DMAWAIT", "K_LSALLOC", "K_FALLOC", "K_FFREE", "K_STOP",
+]
+
+
+# -- row layout ---------------------------------------------------------------
+# One decoded instruction is a plain tuple; index with these constants.
+
+D_KIND = 0    #: dispatch class (K_* below)
+D_AREG = 1    #: ra register index, or None (then D_AVAL is the value)
+D_AVAL = 2    #: ra immediate value; 0 when ra is absent
+D_BREG = 3    #: rb register index, or None (then D_BVAL is the value)
+D_BVAL = 4    #: rb immediate value; ALU rows fold the imm fallback here
+D_RD = 5      #: destination register index, or None
+D_IMM = 6     #: raw immediate (0 when absent)
+D_TARGET = 7  #: resolved branch target flat index, or None
+D_TAG = 8     #: DMA tag id, or None
+D_STRIDE = 9  #: DMAGETS stride in bytes, or None
+D_LAT = 10    #: result latency in cycles (>= 1; ALU rows only matter)
+D_HAZ = 11    #: tuple of scoreboard-checked register indices, in ra,rb,rd order
+D_FN = 12     #: value function (ALU result / branch predicate), or None (NOP)
+D_NAME = 13   #: op mnemonic (InstructionMix.record key)
+D_MEM = 14    #: True when the op occupies the MEM issue slot
+D_FF = 15     #: fast-forward run length starting at this pc (0 = ineligible)
+
+# -- dispatch kinds -----------------------------------------------------------
+
+K_ALU = 0
+K_BRANCH = 1
+K_LOAD = 2
+K_STOREF = 3
+K_STORE = 4
+K_LLOAD = 5
+K_LSTORE = 6
+K_READ = 7
+K_WRITE = 8
+K_DMAGET = 9
+K_DMAGETS = 10
+K_DMAPUT = 11
+K_DMAWAIT = 12
+K_LSALLOC = 13
+K_FALLOC = 14
+K_FFREE = 15
+K_STOP = 16
+
+_KIND_OF: dict[Op, int] = {
+    Op.LOAD: K_LOAD,
+    Op.STOREF: K_STOREF,
+    Op.STORE: K_STORE,
+    Op.LLOAD: K_LLOAD,
+    Op.LSTORE: K_LSTORE,
+    Op.READ: K_READ,
+    Op.WRITE: K_WRITE,
+    Op.DMAGET: K_DMAGET,
+    Op.DMAGETS: K_DMAGETS,
+    Op.DMAPUT: K_DMAPUT,
+    Op.DMAWAIT: K_DMAWAIT,
+    Op.LSALLOC: K_LSALLOC,
+    Op.FALLOC: K_FALLOC,
+    Op.FFREE: K_FFREE,
+    Op.STOP: K_STOP,
+}
+
+
+# -- value functions ----------------------------------------------------------
+# One closure per opcode; semantically identical to alu_result/branch_taken
+# (pinned by tests/isa/test_decoded.py) but without the if-chain.
+
+
+def _div(a: int, b: int) -> int:
+    if b == 0:
+        raise ArithmeticFault("division by zero")
+    q = abs(a) // abs(b)
+    return wrap64(-q if (a < 0) != (b < 0) else q)
+
+
+def _mod(a: int, b: int) -> int:
+    if b == 0:
+        raise ArithmeticFault("modulo by zero")
+    r = abs(a) % abs(b)
+    return wrap64(-r if a < 0 else r)
+
+
+_ALU_FN: dict[Op, typing.Callable[[int, int], int]] = {
+    Op.ADD: lambda a, b: wrap64(a + b),
+    Op.ADDI: lambda a, b: wrap64(a + b),
+    Op.SUB: lambda a, b: wrap64(a - b),
+    Op.SUBI: lambda a, b: wrap64(a - b),
+    Op.MUL: lambda a, b: wrap64(a * b),
+    Op.MULI: lambda a, b: wrap64(a * b),
+    Op.DIV: _div,
+    Op.MOD: _mod,
+    Op.AND: lambda a, b: wrap64(to_unsigned64(a) & to_unsigned64(b)),
+    Op.ANDI: lambda a, b: wrap64(to_unsigned64(a) & to_unsigned64(b)),
+    Op.OR: lambda a, b: wrap64(to_unsigned64(a) | to_unsigned64(b)),
+    Op.ORI: lambda a, b: wrap64(to_unsigned64(a) | to_unsigned64(b)),
+    Op.XOR: lambda a, b: wrap64(to_unsigned64(a) ^ to_unsigned64(b)),
+    Op.XORI: lambda a, b: wrap64(to_unsigned64(a) ^ to_unsigned64(b)),
+    Op.SHL: lambda a, b: wrap64(to_unsigned64(a) << (b & 63)),
+    Op.SHLI: lambda a, b: wrap64(to_unsigned64(a) << (b & 63)),
+    Op.SHR: lambda a, b: wrap64(to_unsigned64(a) >> (b & 63)),
+    Op.SHRI: lambda a, b: wrap64(to_unsigned64(a) >> (b & 63)),
+    Op.SLT: lambda a, b: 1 if a < b else 0,
+    Op.SLTI: lambda a, b: 1 if a < b else 0,
+    Op.SEQ: lambda a, b: 1 if a == b else 0,
+    Op.SEQI: lambda a, b: 1 if a == b else 0,
+    Op.MIN: lambda a, b: min(a, b),
+    Op.MAX: lambda a, b: max(a, b),
+    Op.MOV: lambda a, b: wrap64(a),
+    Op.LI: lambda a, b: wrap64(b),
+}
+
+_BRANCH_FN: dict[Op, typing.Callable[[int, int], bool]] = {
+    Op.BEQ: lambda a, b: a == b,
+    Op.BNE: lambda a, b: a != b,
+    Op.BLT: lambda a, b: a < b,
+    Op.BGE: lambda a, b: a >= b,
+    Op.BEQZ: lambda a, b: a == 0,
+    Op.BNEZ: lambda a, b: a != 0,
+    Op.JMP: lambda a, b: True,
+}
+
+
+class DecodedProgram:
+    """The decoded execution table of one :class:`ThreadProgram`."""
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: tuple[tuple, ...]) -> None:
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def _operand(operand: "Reg | Imm | None") -> tuple[int | None, int]:
+    """Resolve a source operand to ``(reg_index_or_None, imm_value)``."""
+    if isinstance(operand, Reg):
+        return operand.index, 0
+    if isinstance(operand, Imm):
+        return None, operand.value
+    return None, 0
+
+
+def decode_program(program: "ThreadProgram") -> DecodedProgram:
+    """Build the :class:`DecodedProgram` for ``program``."""
+    flat = program.flat
+    n = len(flat)
+    partial: list[list] = []
+    for instr in flat:
+        op = instr.op
+        spec = spec_of(op)
+        mem_slot = spec.slot is Slot.MEM
+        imm = instr.imm if instr.imm is not None else 0
+        a_reg, a_val = _operand(instr.ra)
+        if spec.is_branch:
+            kind = K_BRANCH
+            b_reg, b_val = _operand(instr.rb)
+            fn: typing.Callable | None = _BRANCH_FN[op]
+        elif op in _ALU_FN or op is Op.NOP:
+            kind = K_ALU
+            if instr.rb is not None:
+                b_reg, b_val = _operand(instr.rb)
+            else:
+                # The SPU/interpreter fall back to imm (or 0) for rb.
+                b_reg, b_val = None, imm
+            fn = _ALU_FN.get(op)  # None for NOP
+        else:
+            kind = _KIND_OF[op]
+            b_reg, b_val = _operand(instr.rb)
+            fn = None
+        haz: list[int] = []
+        if a_reg is not None:
+            haz.append(a_reg)
+        if b_reg is not None:
+            haz.append(b_reg)
+        if instr.rd is not None:
+            haz.append(instr.rd)  # WAW
+        partial.append([
+            kind,
+            a_reg, a_val,
+            b_reg, b_val,
+            instr.rd,
+            imm,
+            instr.target,
+            instr.tag,
+            instr.stride,
+            spec.result_latency or 1,
+            tuple(haz),
+            fn,
+            op.value,
+            mem_slot,
+            0,  # D_FF, filled below
+        ])
+
+    # Fast-forward run lengths.  ff[i] = the number of instructions,
+    # starting at i, the SPU may retire at one per cycle inside a single
+    # tick with timing identical to the per-cycle path.  Requirements,
+    # derived from the dual-issue rules in SPU._issue_cycle:
+    #   * instruction i is a non-branch ALU op (register-only effects,
+    #     single ALU slot, scoreboard handled by the fast loop itself);
+    #   * instruction i+1 occupies the ALU slot too.  If it were a
+    #     MEM-slot op, the per-cycle path would dual-issue it *in the
+    #     same cycle* as instruction i, so i must be left to the
+    #     per-cycle loop.  An ALU/branch successor ends the cycle after
+    #     one issue (alu_used) — exactly what the fast loop models.
+    # The final instruction is always STOP (MEM slot), so i+1 exists for
+    # every ALU instruction.
+    for i in range(n - 2, -1, -1):
+        row = partial[i]
+        if row[D_KIND] != K_ALU:
+            continue
+        nxt = partial[i + 1]
+        if nxt[D_MEM]:
+            continue  # would dual-issue with i: not fast-forwardable
+        row[D_FF] = 1 + (nxt[D_FF] if nxt[D_KIND] == K_ALU else 0)
+
+    return DecodedProgram(tuple(tuple(row) for row in partial))

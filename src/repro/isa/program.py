@@ -121,6 +121,33 @@ class ThreadProgram:
         """``{kind: (start, end)}`` half-open flat index ranges."""
         return dict(self._ranges)  # type: ignore[attr-defined]
 
+    @property
+    def decoded(self):
+        """The :class:`~repro.isa.decoded.DecodedProgram` for this program.
+
+        Built lazily on first use and cached for the program's lifetime
+        (programs are immutable).  Only the fast execution paths consult
+        it; with ``REPRO_SIM_FAST=0`` it is never built.
+        """
+        cached = getattr(self, "_decoded", None)
+        if cached is None:
+            from repro.isa.decoded import decode_program
+
+            cached = decode_program(self)
+            object.__setattr__(self, "_decoded", cached)
+        return cached
+
+    def __getstate__(self) -> dict:
+        # The decoded cache holds per-opcode closures, which cannot be
+        # pickled (and would bloat workload-cache keys anyway).  Drop it;
+        # it rebuilds lazily after unpickling.
+        state = dict(self.__dict__)
+        state.pop("_decoded", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     def block_of(self, index: int) -> BlockKind:
         """The block containing flat instruction ``index``."""
         for kind, (start, end) in self._ranges.items():  # type: ignore[attr-defined]

@@ -169,6 +169,9 @@ def build_profile(
         "bus_bytes": stats.bus.bytes_moved,
         "memory_reads": stats.memory.read_requests,
         "memory_writes": stats.memory.write_requests,
+        "engine_ticks": machine.engine.ticks_dispatched,
+        "engine_callbacks": machine.engine.callbacks_dispatched,
+        "engine_stale_skipped": machine.engine.stale_skipped,
     }
     return Profile(
         activity=result.activity,

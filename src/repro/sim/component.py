@@ -37,6 +37,11 @@ class Component:
     def __init__(self, name: str) -> None:
         self.name = name
         self._engine: "Engine | None" = None
+        #: Registration index; breaks same-(cycle, priority) tick ties.
+        #: Stable across a run, so within-cycle order never depends on
+        #: *when* a tick was pushed — a prerequisite for event-skipping
+        #: optimizations that schedule ticks many cycles ahead.
+        self._order: int = -1
         #: Next cycle at which a tick is already scheduled (lazy-deleted).
         self._scheduled_at: int | None = None
         #: Optional tracer (see :mod:`repro.sim.trace`); None = disabled.

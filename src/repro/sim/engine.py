@@ -36,19 +36,44 @@ class SimulationLimitExceeded(RuntimeError):
 class Engine:
     """Owns simulated time and dispatches component ticks."""
 
+    #: Stale entries tolerated before a supersede triggers compaction.
+    #: Below this the heapify cost outweighs the memory saved.
+    COMPACT_MIN_STALE = 32
+
     def __init__(self) -> None:
         self._now = 0
-        self._heap: list[tuple[int, int, int, object]] = []
+        # Entries are (cycle, priority, order, seq, target).  ``order`` is
+        # the component's registration index (0 for callbacks), so ticks
+        # that tie on (cycle, priority) dispatch in *registration* order —
+        # never in push order.  This matters for correctness, not style: a
+        # fast-forwarding SPU schedules its window-end tick many cycles
+        # early, and a push-order tie-break would let that early push jump
+        # ahead of peer SPUs within the cycle, reordering shared-resource
+        # arbitration versus the cycle-by-cycle path.  ``seq`` only
+        # disambiguates a live entry from its own stale duplicates (and
+        # keeps callbacks FIFO).
+        self._heap: list[tuple[int, int, int, int, object]] = []
         self._seq = 0
         self._components: list[Component] = []
+        #: Components with a live (non-superseded) entry in the heap.
+        self._live = 0
+        #: Pending one-shot callbacks (never stale).
+        self._callbacks = 0
         #: Cycles actually visited (for event-skip efficiency metrics).
         self.ticks_dispatched = 0
+        #: One-shot callbacks run via :meth:`call_at`.
+        self.callbacks_dispatched = 0
+        #: Lazily-deleted (superseded) heap entries popped and discarded.
+        self.stale_skipped = 0
+        #: Heap compaction passes performed.
+        self.compactions = 0
 
     # -- registration ------------------------------------------------------
 
     def register(self, component: Component) -> Component:
         """Attach ``component`` to this engine and return it."""
         component._attach(self)
+        component._order = len(self._components)
         self._components.append(component)
         return component
 
@@ -63,12 +88,18 @@ class Engine:
 
     @property
     def pending_count(self) -> int:
-        """Queued events, including lazily-deleted stale entries.
+        """Live queued events: component ticks plus pending callbacks.
 
-        An O(1) upper bound on the real backlog, good enough for the
-        metrics sampler's ``engine.pending_events`` gauge.
+        O(1) and exact — superseded (lazily-deleted) heap entries are
+        excluded, so the metrics sampler's ``engine.pending_events``
+        gauge reports real backlog, not heap garbage.
         """
-        return len(self._heap)
+        return self._live + self._callbacks
+
+    @property
+    def stale_count(self) -> int:
+        """Lazily-deleted heap entries awaiting skip or compaction."""
+        return len(self._heap) - self._live - self._callbacks
 
     # -- scheduling --------------------------------------------------------
 
@@ -89,9 +120,24 @@ class Engine:
         already = component._scheduled_at
         if already is not None and already <= cycle:
             return
+        if already is None:
+            self._live += 1
+        else:
+            # Superseding leaves the old entry stale in the heap.  When
+            # stale garbage outnumbers live work, rebuild the heap: the
+            # O(n) heapify amortizes against the pops it saves, and the
+            # heap stays proportional to real backlog.
+            stale = len(self._heap) - self._live - self._callbacks
+            if stale > self.COMPACT_MIN_STALE and stale > (
+                self._live + self._callbacks
+            ):
+                self._compact()
         component._scheduled_at = cycle
         self._seq += 1
-        heapq.heappush(self._heap, (cycle, component.priority, self._seq, component))
+        heapq.heappush(
+            self._heap,
+            (cycle, component.priority, component._order, self._seq, component),
+        )
 
     def call_at(self, cycle: int, callback: Callable[[], None]) -> None:
         """Run ``callback`` at the start of ``cycle`` (before ticks).
@@ -101,8 +147,20 @@ class Engine:
         """
         if cycle <= self._now:
             cycle = self._now + 1
+        self._callbacks += 1
         self._seq += 1
-        heapq.heappush(self._heap, (cycle, -1, self._seq, callback))
+        heapq.heappush(self._heap, (cycle, -1, 0, self._seq, callback))
+
+    def _compact(self) -> None:
+        """Drop stale heap entries and re-heapify in place."""
+        self._heap[:] = [
+            entry
+            for entry in self._heap
+            if not isinstance(entry[4], Component)
+            or entry[4]._scheduled_at == entry[0]
+        ]
+        heapq.heapify(self._heap)
+        self.compactions += 1
 
     # -- main loop ---------------------------------------------------------
 
@@ -130,16 +188,21 @@ class Engine:
                 raise SimulationLimitExceeded(self._limit_report(max_cycles))
             self._now = cycle
             # Dispatch every event scheduled for this cycle, in
-            # (priority, seq) order.  Nothing dispatched here can add
+            # (priority, registration-order) order — same-priority ties
+            # resolve by *registration* index, not push order, so the
+            # within-cycle sequence is independent of how far ahead each
+            # tick was scheduled.  Nothing dispatched here can add
             # same-cycle work: schedule() and call_at() both clamp
             # requests for the current (or a past) cycle to now + 1,
             # so this inner loop always terminates.
             while heap and heap[0][0] == cycle:
-                _, _, _, target = heapq.heappop(heap)
+                target = heapq.heappop(heap)[4]
                 if isinstance(target, Component):
                     if target._scheduled_at != cycle:
+                        self.stale_skipped += 1
                         continue  # lazily-deleted stale entry
                     target._scheduled_at = None
+                    self._live -= 1
                     self.ticks_dispatched += 1
                     nxt = target.tick(cycle)
                     if nxt is not None:
@@ -150,6 +213,8 @@ class Engine:
                             )
                         self.schedule(target, nxt)
                 else:
+                    self._callbacks -= 1
+                    self.callbacks_dispatched += 1
                     target()
 
     def drain(self, max_cycles: int | None = None) -> int:
@@ -188,16 +253,21 @@ class Engine:
 
     def peek_events(self, limit: int = 8) -> list[str]:
         """The next ``limit`` queued events, formatted, in dispatch order."""
-        live = [
-            (cycle, prio, seq, target)
-            for cycle, prio, seq, target in self._heap
-            if not (
-                isinstance(target, Component) and target._scheduled_at != cycle
-            )
-        ]
-        live.sort()
+        # nsmallest over a filtering generator: O(n log limit) with no
+        # copy of the heap, instead of the old filter-everything-and-sort
+        # O(n log n) pass (peek runs inside limit-exceeded reporting and
+        # interactive debugging where the heap can be large).
+        live = heapq.nsmallest(
+            limit,
+            (
+                entry
+                for entry in self._heap
+                if not isinstance(entry[4], Component)
+                or entry[4]._scheduled_at == entry[0]
+            ),
+        )
         lines = []
-        for cycle, _prio, _seq, target in live[:limit]:
+        for cycle, _prio, _order, _seq, target in live:
             if isinstance(target, Component):
                 lines.append(f"cycle {cycle}: tick {target.name}")
             else:
@@ -207,7 +277,7 @@ class Engine:
 
     def pending_events(self) -> Iterable[tuple[int, object]]:
         """(cycle, target) pairs currently queued, unordered (for tests)."""
-        for cycle, _prio, _seq, target in self._heap:
+        for cycle, _prio, _order, _seq, target in self._heap:
             if isinstance(target, Component) and target._scheduled_at != cycle:
                 continue
             yield cycle, target

@@ -1,0 +1,34 @@
+"""The ``REPRO_SIM_FAST`` escape hatch.
+
+The simulator carries two implementations of its hottest loops: the
+original, straight-line-readable *slow path* and a decoded/fast-forward
+*fast path* (see :mod:`repro.isa.decoded` and ``docs/PERFORMANCE.md``).
+Both produce bit-identical architectural results and statistics — the
+equivalence suite in ``tests/integration/test_fastpath.py`` enforces it —
+but when chasing a suspected fast-path bug, ``REPRO_SIM_FAST=0`` restores
+the original code everywhere.
+
+The flag is read when a machine (or functional interpreter) is
+*constructed*, never at import time, so tests can flip it per-run with
+``monkeypatch.setenv``.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["fast_enabled"]
+
+_FALSEY = frozenset({"0", "false", "off", "no", ""})
+
+
+def fast_enabled(default: bool = True) -> bool:
+    """Whether the decoded/fast-forward simulator paths are enabled.
+
+    Controlled by the ``REPRO_SIM_FAST`` environment variable; unset
+    means ``default`` (on).  Any of ``0/false/off/no`` disables.
+    """
+    value = os.environ.get("REPRO_SIM_FAST")
+    if value is None:
+        return default
+    return value.strip().lower() not in _FALSEY

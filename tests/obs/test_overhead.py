@@ -41,9 +41,11 @@ class TestDisabledHubIsAbsent:
         assert hub.gauges == {}
 
     def test_wall_clock_overhead_small(self):
-        """min-of-3 wall clock with a disabled hub stays within 25% of a
+        """min-of-5 wall clock with a disabled hub stays within 25% of a
         plain run (the issue asks ≤2%; the generous bound absorbs CI
-        noise while still catching an accidentally-enabled slow path)."""
+        noise while still catching an accidentally-enabled slow path).
+        Five samples rather than three: the decoded fast path made the
+        run short enough that scheduler noise can dominate a min-of-3."""
 
         def best_of(n, fn):
             times = []
@@ -54,8 +56,8 @@ class TestDisabledHubIsAbsent:
             return min(times)
 
         run_bitcnt()  # warm caches / imports
-        plain = best_of(3, run_bitcnt)
-        disabled = best_of(3, lambda: run_bitcnt(MetricsHub(enabled=False)))
+        plain = best_of(5, run_bitcnt)
+        disabled = best_of(5, lambda: run_bitcnt(MetricsHub(enabled=False)))
         assert disabled <= plain * 1.25, (
             f"disabled-hub run {disabled:.3f}s vs plain {plain:.3f}s"
         )

@@ -96,6 +96,70 @@ class TestBasicScheduling:
             e2.register(t)
 
 
+class TestCounters:
+    def test_callbacks_counted_separately_from_ticks(self):
+        eng = Engine()
+        t = eng.register(Ticker("t", count=2))
+        eng.schedule(t, 1)
+        eng.call_at(3, lambda: None)
+        eng.call_at(4, lambda: None)
+        eng.drain()
+        assert eng.ticks_dispatched == 2
+        assert eng.callbacks_dispatched == 2
+
+    def test_stale_skipped_counts_superseded_pops(self):
+        eng = Engine()
+        t = eng.register(Ticker("t", count=1))
+        eng.schedule(t, 40)
+        eng.schedule(t, 12)  # cycle-40 entry goes stale
+        eng.drain()
+        assert t.ticks == [12]
+        assert eng.stale_skipped == 1
+        assert eng.ticks_dispatched == 1
+
+    def test_pending_count_reports_live_entries_only(self):
+        eng = Engine()
+        t = eng.register(Ticker("t", count=1))
+        eng.schedule(t, 40)
+        eng.schedule(t, 12)
+        eng.call_at(5, lambda: None)
+        # Heap holds 3 entries, but only the tick at 12 and the callback
+        # are live: the gauge must not count the stale cycle-40 entry.
+        assert len(eng._heap) == 3
+        assert eng.pending_count == 2
+        assert eng.stale_count == 1
+        eng.drain()
+        assert eng.pending_count == 0
+        assert eng.stale_count == 0
+
+
+class TestCompaction:
+    def test_supersede_heavy_scheduling_keeps_heap_bounded(self):
+        eng = Engine()
+        t = eng.register(Ticker("t", count=1))
+        # Each schedule is earlier than the last: every call supersedes,
+        # leaving one more stale entry behind.
+        for cycle in range(100_000, 100_000 - 5_000, -1):
+            eng.schedule(t, cycle)
+        assert eng.compactions > 0
+        # One live entry; stale garbage stays below the compaction
+        # threshold plus the entries added since the last pass.
+        assert eng.pending_count == 1
+        assert len(eng._heap) < 200
+        eng.drain()
+        assert t.ticks == [100_000 - 5_000 + 1]
+        assert eng.ticks_dispatched == 1
+
+    def test_small_stale_populations_are_left_alone(self):
+        eng = Engine()
+        t = eng.register(Ticker("t", count=1))
+        for cycle in (50, 40, 30):
+            eng.schedule(t, cycle)
+        assert eng.compactions == 0  # below COMPACT_MIN_STALE
+        eng.drain()
+        assert t.ticks == [30]
+
+
 class TestOrdering:
     def test_same_cycle_priority_order(self):
         order: list[str] = []
@@ -116,6 +180,27 @@ class TestOrdering:
         eng.schedule(high, 5)
         eng.drain()
         assert order == ["high", "low"]
+
+    def test_same_priority_ties_follow_registration_order(self):
+        # Ties on (cycle, priority) break by registration index, NOT push
+        # order: a component that scheduled its tick far in advance (e.g.
+        # an SPU fast-forwarding to its window end) must not jump ahead
+        # of a peer that scheduled the same cycle later.
+        order: list[str] = []
+
+        class P(Component):
+            def tick(self, now):
+                order.append(self.name)
+                return None
+
+        eng = Engine()
+        first = eng.register(P("first"))
+        second = eng.register(P("second"))
+        # Push in reverse registration order, at different times.
+        eng.schedule(second, 50)
+        eng.call_at(40, lambda: eng.schedule(first, 50))
+        eng.drain()
+        assert order == ["first", "second"]
 
     def test_callbacks_run_before_ticks(self):
         order: list[str] = []
