@@ -146,6 +146,9 @@ def reproduce_all(
     retries: "int | None" = None,
     resume: bool = False,
     keep_going: bool = False,
+    checkpoint_every: "int | None" = None,
+    checkpoint_dir: "str | None" = None,
+    keep_checkpoints: bool = False,
 ) -> dict:
     """Execute the full experiment matrix (Figures 5-9, Table 5, L1).
 
@@ -199,6 +202,8 @@ def reproduce_all(
     batch = run_many_detailed(
         tasks, jobs=jobs, cache=cache, progress=progress,
         timeout=timeout, retries=retries, resume=resume,
+        checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir,
+        keep_checkpoints=keep_checkpoints,
     )
     if batch.failures and not keep_going:
         raise TaskFailure.from_batch(tasks, batch.failures)

@@ -52,6 +52,10 @@ class JournalEntry:
     attempts: int
     duration: float
     error: str | None
+    #: Path of the machine checkpoint this task left behind (if any):
+    #: written by timeout/crash retries so a later ``resume`` can prune
+    #: or reuse it.  Absent in journals written by older code.
+    checkpoint: str | None = None
 
     @property
     def done(self) -> bool:
@@ -76,7 +80,8 @@ class SweepJournal:
         return cls(Path(cache.root) / "journal.jsonl")
 
     def record_done(
-        self, key: str, label: str, attempts: int, duration: float
+        self, key: str, label: str, attempts: int, duration: float,
+        checkpoint: "str | None" = None,
     ) -> None:
         """Checkpoint a completed task (its result lives in the cache)."""
         self._append(
@@ -89,6 +94,7 @@ class SweepJournal:
                 "attempts": attempts,
                 "duration": round(duration, 6),
                 "error": None,
+                "checkpoint": checkpoint,
             }
         )
 
@@ -100,6 +106,7 @@ class SweepJournal:
         attempts: int,
         duration: float,
         error: str,
+        checkpoint: "str | None" = None,
     ) -> None:
         """Checkpoint a task that exhausted its retry budget."""
         self._append(
@@ -112,6 +119,7 @@ class SweepJournal:
                 "attempts": attempts,
                 "duration": round(duration, 6),
                 "error": error,
+                "checkpoint": checkpoint,
             }
         )
 
@@ -170,6 +178,7 @@ class SweepJournal:
                     attempts=int(raw["attempts"]),
                     duration=float(raw.get("duration", 0.0)),
                     error=raw.get("error"),
+                    checkpoint=raw.get("checkpoint"),
                 )
             except (KeyError, TypeError, ValueError):
                 continue

@@ -57,7 +57,7 @@ import heapq
 import os
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 from repro.bench.cache import ResultCache, result_key
@@ -200,6 +200,11 @@ class RunTask:
     workers rebuild nothing — the workload (activity, oracle, params)
     ships to the worker and the prefetch transformation, simulation and
     oracle check all happen there.
+
+    The checkpoint fields describe *how* this attempt executes, not
+    *what* it computes — a resumed run is bit-identical to a fresh one —
+    so they are deliberately excluded from :meth:`key`: cache entries and
+    journal lines written with and without checkpointing interoperate.
     """
 
     workload: Workload
@@ -208,6 +213,12 @@ class RunTask:
     options: PrefetchOptions | None = None
     max_cycles: int = 500_000_000
     verify: bool = True
+    #: Machine-checkpoint cadence in cycles (None = off).
+    checkpoint_every: int | None = None
+    #: Exact checkpoint file path for this task (atomically replaced).
+    checkpoint_path: str | None = None
+    #: Resume from this checkpoint instead of starting fresh.
+    restore_from: str | None = None
 
     @property
     def label(self) -> str:
@@ -228,6 +239,9 @@ class RunTask:
             options=self.options,
             max_cycles=self.max_cycles,
             verify=self.verify,
+            checkpoint_every=self.checkpoint_every,
+            checkpoint_path=self.checkpoint_path,
+            restore_from=self.restore_from,
         )
 
 
@@ -299,6 +313,7 @@ class _PoolDriver:
         finish: "Callable[[int, RunResult, float], None]",
         fail: "Callable[[int, Exception, str], None]",
         progress: "Callable[[str], None] | None",
+        prepare: "Callable[[int], RunTask] | None" = None,
     ) -> None:
         self.tasks = tasks
         self.jobs = jobs
@@ -309,6 +324,10 @@ class _PoolDriver:
         self.finish = finish
         self.fail = fail
         self.progress = progress
+        #: Called at submit time to produce the task actually executed —
+        #: the checkpoint layer uses it to point retries at the snapshot
+        #: the previous (killed) attempt left behind.
+        self.prepare = prepare
         self.queue: "deque[int]" = deque(sorted(pending))
         self.delayed: "list[tuple[float, int]]" = []  # (ready_at, i) heap
 
@@ -353,7 +372,10 @@ class _PoolDriver:
         while self.queue and len(futures) < workers:
             i = self.queue.popleft()
             self.attempts[i] += 1
-            futures[pool.submit(_execute, self.tasks[i])] = (
+            task = (
+                self.tasks[i] if self.prepare is None else self.prepare(i)
+            )
+            futures[pool.submit(_execute, task)] = (
                 i, time.monotonic(),
             )
 
@@ -491,6 +513,9 @@ def run_many_detailed(
     backoff: float = 0.5,
     journal: "SweepJournal | str | None" = "auto",
     resume: bool = False,
+    checkpoint_every: "int | None" = None,
+    checkpoint_dir: "str | None" = None,
+    keep_checkpoints: bool = False,
 ) -> BatchResult:
     """Execute ``tasks`` and return a :class:`BatchResult` (never raises
     :class:`TaskFailure` — failed slots are ``None`` and described in
@@ -501,6 +526,17 @@ def run_many_detailed(
     cache (pass ``None`` to disable); ``resume=True`` replays the
     journal, skipping tasks whose results are already in the cache and
     re-reporting deterministic failures without re-simulating them.
+
+    ``checkpoint_every=N`` layers *machine-level* checkpointing over the
+    harness-level journal: each running task snapshots its machine every
+    N cycles to ``<checkpoint_dir>/<task key>.ckpt`` (default directory:
+    ``checkpoints/`` next to the cache), and any retry — after a
+    timeout kill, a worker crash, or a whole batch killed and re-run —
+    *resumes* from the latest snapshot instead of re-simulating from
+    cycle 0.  Checkpoints of completed tasks are deleted (the result is
+    in the cache; pass ``keep_checkpoints=True`` to keep them), and
+    ``resume=True`` prunes orphaned checkpoint files whose journal
+    entries completed.
     """
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
     timeout = default_task_timeout() if timeout is None else (
@@ -509,10 +545,19 @@ def run_many_detailed(
     retries = default_retries() if retries is None else max(0, int(retries))
     if journal == "auto":
         journal = SweepJournal.for_cache(cache) if cache is not None else None
+    if checkpoint_every is not None and checkpoint_every < 1:
+        checkpoint_every = None
+    if checkpoint_dir is None and checkpoint_every is not None:
+        checkpoint_dir = (
+            os.path.join(str(cache.root), "checkpoints")
+            if cache is not None else "checkpoints"
+        )
 
     total = len(tasks)
+    tasks = list(tasks)
     batch = BatchResult(results=[None] * total, attempts=[0] * total)
     keys: "list[str | None]" = [None] * total
+    ckpt_paths: "list[str | None]" = [None] * total
     done_count = 0
 
     def note(i: int, result: RunResult, source: str) -> None:
@@ -524,13 +569,29 @@ def run_many_detailed(
                 f"cycles ({source})"
             )
 
+    def settle_checkpoint(i: int) -> "str | None":
+        """Delete a settled task's machine checkpoint (its result is in
+        the cache); return the path that remains on disk, if any."""
+        path = ckpt_paths[i]
+        if path is None or not os.path.exists(path):
+            return None
+        if keep_checkpoints:
+            return path
+        try:
+            os.unlink(path)
+        except OSError:
+            return path
+        return None
+
     def finish(i: int, result: RunResult, duration: float = 0.0) -> None:
         batch.results[i] = result
         if cache is not None and keys[i] is not None:
             cache.put(keys[i], result)
+        ckpt = settle_checkpoint(i)
         if journal is not None and keys[i] is not None:
             journal.record_done(
-                keys[i], tasks[i].label, max(1, batch.attempts[i]), duration
+                keys[i], tasks[i].label, max(1, batch.attempts[i]), duration,
+                checkpoint=ckpt,
             )
         note(i, result, "ran")
 
@@ -541,10 +602,16 @@ def run_many_detailed(
         batch.failures[i] = FailureInfo(
             kind=kind, attempts=batch.attempts[i], error=exc
         )
+        # A failed task's checkpoint is kept: it is the resume point of
+        # the next attempt (and the preserved state of the diagnosis).
+        ckpt = ckpt_paths[i]
+        if ckpt is not None and not os.path.exists(ckpt):
+            ckpt = None
         if record and journal is not None and keys[i] is not None:
             journal.record_failed(
                 keys[i], tasks[i].label, kind, batch.attempts[i], duration,
                 f"{type(exc).__name__}: {exc}",
+                checkpoint=ckpt,
             )
         if progress is not None:
             progress(
@@ -553,11 +620,25 @@ def run_many_detailed(
             )
 
     replayed = journal.replay() if (resume and journal is not None) else {}
+    if resume and not keep_checkpoints:
+        # Prune orphans: checkpoint files whose journal entries completed
+        # serve no purpose (the results live in the cache).
+        for entry in replayed.values():
+            if entry.done and entry.checkpoint:
+                try:
+                    os.unlink(entry.checkpoint)
+                except OSError:
+                    pass
 
     pending: "list[int]" = []
     for i, task in enumerate(tasks):
-        if cache is not None or journal is not None:
+        if (
+            cache is not None or journal is not None
+            or checkpoint_every is not None
+        ):
             keys[i] = task.key()
+        if checkpoint_every is not None and checkpoint_dir is not None:
+            ckpt_paths[i] = os.path.join(checkpoint_dir, keys[i] + ".ckpt")
         if cache is not None and keys[i] is not None:
             hit = cache.get(keys[i])
             if hit is not None:
@@ -565,6 +646,7 @@ def run_many_detailed(
                 entry = replayed.get(keys[i])
                 if entry is not None and entry.done:
                     batch.resumed += 1
+                settle_checkpoint(i)
                 note(i, hit, "cached")
                 continue
         entry = replayed.get(keys[i]) if keys[i] is not None else None
@@ -585,6 +667,11 @@ def run_many_detailed(
                 record=False,
             )
             continue
+        if ckpt_paths[i] is not None:
+            tasks[i] = replace(
+                task, checkpoint_every=checkpoint_every,
+                checkpoint_path=ckpt_paths[i],
+            )
         pending.append(i)
 
     if batch.resumed and progress is not None:
@@ -603,6 +690,15 @@ def run_many_detailed(
         outstanding.discard(i)
         fail(i, exc, kind)
 
+    def prepare(i: int) -> RunTask:
+        """The task to actually submit: resume from its checkpoint when
+        a previous (killed or interrupted) attempt left one behind."""
+        task = tasks[i]
+        path = ckpt_paths[i]
+        if path is not None and os.path.exists(path):
+            task = replace(task, restore_from=path)
+        return task
+
     use_pool = bool(pending) and (
         (jobs > 1 and len(pending) > 1) or timeout is not None
     )
@@ -610,6 +706,7 @@ def run_many_detailed(
         driver = _PoolDriver(
             tasks, pending, jobs, timeout, retries, backoff,
             batch.attempts, finish_tracked, fail_tracked, progress,
+            prepare=prepare if checkpoint_every is not None else None,
         )
         try:
             driver.run()
@@ -628,7 +725,9 @@ def run_many_detailed(
         batch.attempts[i] += 1
         start = time.monotonic()
         try:
-            result = _execute(tasks[i])
+            result = _execute(
+                tasks[i] if checkpoint_every is None else prepare(i)
+            )
         except KeyboardInterrupt:
             # Everything finished so far is already cached and journaled
             # incrementally — an interrupted sweep is resumable as-is.
@@ -653,6 +752,9 @@ def run_many(
     journal: "SweepJournal | str | None" = "auto",
     resume: bool = False,
     keep_going: bool = False,
+    checkpoint_every: "int | None" = None,
+    checkpoint_dir: "str | None" = None,
+    keep_checkpoints: bool = False,
 ) -> "list[RunResult]":
     """Execute ``tasks`` and return their results in task order.
 
@@ -665,12 +767,15 @@ def run_many(
     Failures raise :class:`TaskFailure` after every other task finished;
     with ``keep_going=True`` failed slots are returned as ``None``
     instead (use :func:`run_many_detailed` for the failure taxonomy).
-    See :func:`run_many_detailed` for the resilience knobs.
+    See :func:`run_many_detailed` for the resilience and
+    machine-checkpoint knobs.
     """
     batch = run_many_detailed(
         tasks, jobs=jobs, cache=cache, progress=progress,
         timeout=timeout, retries=retries, backoff=backoff,
         journal=journal, resume=resume,
+        checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir,
+        keep_checkpoints=keep_checkpoints,
     )
     if batch.failures and not keep_going:
         raise TaskFailure.from_batch(tasks, batch.failures)

@@ -16,6 +16,7 @@ module renders into paper-style tables.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -91,14 +92,50 @@ def run_workload(
     options: PrefetchOptions | None = None,
     max_cycles: int = 500_000_000,
     verify: bool = True,
+    *,
+    checkpoint_every: int | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_path: str | None = None,
+    restore_from: str | None = None,
 ) -> RunResult:
-    """Run one variant of a workload, verifying outputs."""
+    """Run one variant of a workload, verifying outputs.
+
+    ``checkpoint_every=N`` snapshots the machine to ``checkpoint_path``
+    every N cycles (see :mod:`repro.sim.snapshot`).  ``restore_from``
+    resumes a previously checkpointed machine instead of starting fresh
+    — results stay bit-identical to an uninterrupted run.  A missing,
+    corrupt or mismatched (wrong activity) restore file falls back to a
+    fresh start: a stale checkpoint must never poison a run.
+    """
+    from repro.sim.snapshot import CheckpointError
+
     activity = workload.activity
     if prefetch:
         activity = prefetch_transform(activity, options)
-    machine = Machine(config)
-    machine.load(activity)
-    result = machine.run(max_cycles=max_cycles)
+    machine = None
+    if restore_from is not None and os.path.exists(restore_from):
+        try:
+            restored = Machine.load_checkpoint(restore_from)
+        except CheckpointError:
+            restored = None  # unusable checkpoint: start fresh
+        if (
+            restored is not None
+            and restored._activity is not None
+            and restored._activity.name == activity.name
+            and restored.config == config
+        ):
+            machine = restored
+    if machine is None:
+        machine = Machine(config)
+        machine.load(activity)
+    if checkpoint_dir is None and checkpoint_path is not None:
+        checkpoint_dir = os.path.dirname(checkpoint_path) or "."
+    result = machine.run(
+        max_cycles=max_cycles,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_path=checkpoint_path,
+    )
     if verify:
         errors = check_outputs(workload, machine)
         if errors:
@@ -120,6 +157,9 @@ def run_pair(
     timeout: "float | None" = None,
     retries: "int | None" = None,
     resume: bool = False,
+    checkpoint_every: "int | None" = None,
+    checkpoint_dir: "str | None" = None,
+    keep_checkpoints: bool = False,
 ) -> PairResult:
     """Run a workload with and without prefetching on the same machine.
 
@@ -127,7 +167,8 @@ def run_pair(
     :func:`repro.bench.parallel.run_many`: ``jobs`` worker processes
     (default ``REPRO_BENCH_JOBS`` or serial) and an optional
     :class:`~repro.bench.cache.ResultCache` of finished results.
-    ``timeout``/``retries``/``resume`` are the resilience knobs of
+    ``timeout``/``retries``/``resume`` are the resilience knobs, and the
+    ``checkpoint_*`` arguments the machine-checkpoint knobs, of
     :func:`~repro.bench.parallel.run_many_detailed`.
     """
     from repro.bench.parallel import pair_tasks, run_many
@@ -137,6 +178,8 @@ def run_pair(
         pair_tasks(workload, cfg, options=options, max_cycles=max_cycles),
         jobs=jobs, cache=cache, progress=progress,
         timeout=timeout, retries=retries, resume=resume,
+        checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir,
+        keep_checkpoints=keep_checkpoints,
     )
     return PairResult(
         workload=workload.name, config=cfg, base=base, prefetch=pf
@@ -155,6 +198,9 @@ def sweep(
     retries: "int | None" = None,
     resume: bool = False,
     keep_going: bool = False,
+    checkpoint_every: "int | None" = None,
+    checkpoint_dir: "str | None" = None,
+    keep_checkpoints: bool = False,
 ) -> ScalingResult:
     """Pair runs across SPE counts (the Figures 6-8 axes).
 
@@ -181,6 +227,8 @@ def sweep(
         tasks, jobs=jobs, cache=cache, progress=progress,
         timeout=timeout, retries=retries, resume=resume,
         keep_going=keep_going,
+        checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir,
+        keep_checkpoints=keep_checkpoints,
     )
     result = ScalingResult(workload=workload.name)
     for i, n in enumerate(spes):

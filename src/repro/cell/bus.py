@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.core.messages import Message
 from repro.sim.component import Component
 from repro.sim.config import BusConfig
+from repro.sim.engine import Callback, register_callback
 from repro.sim.stats import BusStats
 
 __all__ = ["Bus", "BusEndpoint"]
@@ -144,11 +145,13 @@ class Bus(Component):
             if inj is not None:
                 finish += inj.bus_transfer_delay()
             self._undelivered.add(t.seq)
-            self.engine.call_at(finish, lambda t=t: self._deliver(t))
+            self.engine.call_at(finish, Callback("bus.deliver", self, (t,)))
             if inj is not None and inj.bus_duplicate():
                 # Deliver a second copy one cycle later; _deliver absorbs
                 # it because the seq will already be retired.
-                self.engine.call_at(finish + 1, lambda t=t: self._deliver(t))
+                self.engine.call_at(
+                    finish + 1, Callback("bus.deliver", self, (t,))
+                )
         if self._queue:
             nxt = min(self._channel_free)
             return max(nxt, now + 1)
@@ -177,3 +180,6 @@ class Bus(Component):
             f"{len(self._queue)} queued transfers, channels free at "
             f"{self._channel_free}"
         )
+
+
+register_callback("bus.deliver", Bus._deliver)

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from repro.core.messages import CacheFillRequest, CacheFillResponse
 from repro.sim.component import Component
 from repro.sim.config import CacheConfig
+from repro.sim.engine import Callback, register_callback
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.cell.main_memory import MainMemory
@@ -134,7 +135,8 @@ class DataCache(Component):
             self.stats.hits += 1
             value = line.words[word]
             self.engine.call_at(
-                self.now + self.config.hit_latency, lambda: on_value(value)
+                self.now + self.config.hit_latency,
+                Callback("cache.hit", self, (on_value, value)),
             )
             return self.config.hit_latency
         self.stats.misses += 1
@@ -179,8 +181,15 @@ class DataCache(Component):
     def tick(self, now: int) -> int | None:  # pragma: no cover - passive
         return None
 
+    def _deliver_hit(self, on_value, value: int) -> None:
+        """Complete a hit after the hit latency has elapsed."""
+        on_value(value)
+
     def describe_state(self) -> str:
         return (
             f"{self.stats.hits} hits / {self.stats.misses} misses, "
             f"pending fill: {self._pending_fill is not None}"
         )
+
+
+register_callback("cache.hit", DataCache._deliver_hit)

@@ -138,6 +138,16 @@ class Machine:
         self.threads_created = 0
         self.threads_completed = 0
 
+        # Checkpoint bookkeeping (harness-side; never serialized).
+        #: True when this machine was rebuilt from a checkpoint: run()
+        #: must not re-start the watchdog/sampler (their next wakes are
+        #: already in the restored heap).
+        self._resumed = False
+        #: (cycle, path) of the most recent checkpoint written.
+        self._last_checkpoint: "tuple[int, str] | None" = None
+        self._ckpt_dir: str | None = None
+        self._ckpt_name: str | None = None
+
         # Progress watchdog (registered last so livelock reports list the
         # real components first).  Observation-only: it never wakes or
         # messages another component, so cycle counts are unaffected.
@@ -150,6 +160,8 @@ class Machine:
                 progress=self._progress_snapshot,
                 done=self._done,
                 detail=self._watchdog_detail,
+                checkpoint=self._livelock_checkpoint,
+                last_checkpoint=self._last_checkpoint_info,
             )
             self.engine.register(self.watchdog)
 
@@ -245,15 +257,72 @@ class Machine:
             f"{self.bus.pending}"
         )
 
-    def run(self, max_cycles: int | None = None) -> RunResult:
-        """Run the loaded activity to completion."""
+    def run(
+        self,
+        max_cycles: int | None = None,
+        *,
+        checkpoint_every: int | None = None,
+        checkpoint_dir: str | None = None,
+        checkpoint_at: "list[int] | tuple[int, ...] | None" = None,
+        checkpoint_path: str | None = None,
+    ) -> RunResult:
+        """Run the loaded activity to completion.
+
+        ``checkpoint_every=N`` writes a checkpoint to
+        ``<checkpoint_dir>/<activity>.ckpt`` (atomically replaced — the
+        file always holds the latest) at the first visited cycle past
+        each N-cycle boundary; ``checkpoint_path`` overrides that default
+        name with an exact file path (harness-facing: per-task paths that
+        cannot collide when activities share a name).
+        ``checkpoint_at=[c1, c2, ...]`` instead writes
+        ``<activity>.c<ci>.ckpt`` at each requested cycle (test-facing:
+        lets one reference run produce both the final result and
+        mid-flight snapshots).  Neither knob costs anything when off.
+        """
         if self._activity is None:
             raise RuntimeError("no activity loaded")
-        if self.watchdog is not None:
-            self.watchdog.start()
-        if self.sampler is not None:
-            self.sampler.start()
-        self.engine.run(until=self._done, max_cycles=max_cycles)
+        on_checkpoint = None
+        every = checkpoint_every
+        if checkpoint_every is not None or checkpoint_at is not None:
+            if checkpoint_every is not None and checkpoint_at is not None:
+                raise ValueError(
+                    "checkpoint_every and checkpoint_at are exclusive"
+                )
+            self._ckpt_dir = checkpoint_dir if checkpoint_dir else "."
+            self._ckpt_name = self._activity.name
+            if checkpoint_every is not None:
+                path = (
+                    checkpoint_path if checkpoint_path
+                    else f"{self._ckpt_dir}/{self._ckpt_name}.ckpt"
+                )
+
+                def on_checkpoint(cycle: int, path=path) -> None:
+                    self.save_checkpoint(path)
+            else:
+                targets = sorted(checkpoint_at)
+
+                def on_checkpoint(cycle: int, targets=targets) -> None:
+                    while targets and cycle >= targets[0]:
+                        target = targets.pop(0)
+                        self.save_checkpoint(
+                            f"{self._ckpt_dir}/{self._ckpt_name}"
+                            f".c{target}.ckpt"
+                        )
+                every = 1  # visit the hook every cycle; it filters itself
+        if not self._resumed:
+            # A restored machine's watchdog/sampler wakes are already in
+            # the heap; re-starting them would add an extra sample tick
+            # and break bit-identity of gauges and profiles.
+            if self.watchdog is not None:
+                self.watchdog.start()
+            if self.sampler is not None:
+                self.sampler.start()
+        self.engine.run(
+            until=self._done,
+            max_cycles=max_cycles,
+            checkpoint_every=every,
+            on_checkpoint=on_checkpoint,
+        )
         finish = self.engine.now
         # Drain in-flight posted writes / acks so results are observable.
         self.engine.drain(max_cycles=max_cycles)
@@ -264,6 +333,38 @@ class Machine:
             stats=self.collect_stats(finish),
             prefetch=self._activity.has_prefetch,
         )
+
+    # -- checkpoint/restore ----------------------------------------------------------
+
+    def save_checkpoint(self, path: str) -> str:
+        """Snapshot the whole machine to ``path`` (see repro.sim.snapshot)."""
+        from repro.sim.snapshot import save_checkpoint
+
+        save_checkpoint(self, path)
+        self._last_checkpoint = (self.engine.now, path)
+        return path
+
+    @staticmethod
+    def load_checkpoint(path: str) -> "Machine":
+        """Rebuild a checkpointed machine, ready to continue via run()."""
+        from repro.sim.snapshot import load_checkpoint
+
+        return load_checkpoint(path)
+
+    def _livelock_checkpoint(self) -> "str | None":
+        """Watchdog hook: preserve the diagnosed state, best-effort."""
+        if self._ckpt_dir is None or self._ckpt_name is None:
+            return None
+        from repro.sim.snapshot import CheckpointError
+
+        path = f"{self._ckpt_dir}/{self._ckpt_name}.livelock.ckpt"
+        try:
+            return self.save_checkpoint(path)
+        except CheckpointError:
+            return None  # diagnosis must not be masked by a save failure
+
+    def _last_checkpoint_info(self) -> "tuple[int, str] | None":
+        return self._last_checkpoint
 
     # -- statistics -----------------------------------------------------------------
 

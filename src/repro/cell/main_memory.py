@@ -32,6 +32,7 @@ from repro.core.messages import (
 )
 from repro.sim.component import Component
 from repro.sim.config import MainMemoryConfig
+from repro.sim.engine import Callback, register_callback
 from repro.sim.stats import MemoryStats
 
 __all__ = ["MainMemory", "MemoryFault"]
@@ -145,9 +146,11 @@ class MainMemory(Component):
         if self._bus is None:
             raise RuntimeError(f"{self.name}: bus not attached")
         ready = now + self.config.latency + self._stall()
-        self.engine.call_at(
-            ready, lambda: self._bus.send(self, endpoint, msg)
-        )
+        self.engine.call_at(ready, Callback("memory.send", self, (endpoint, msg)))
+
+    def _send(self, endpoint, msg: Message) -> None:
+        """Put a finished response on the bus (deferred by ``call_at``)."""
+        self._bus.send(self, endpoint, msg)
 
     def _serve(self, msg: Message, now: int) -> None:
         if isinstance(msg, ReadRequest):
@@ -170,7 +173,7 @@ class MainMemory(Component):
             extra = self._stall()
             if extra:
                 self.engine.call_at(
-                    now + extra, lambda: self._bus.send(self, endpoint, ack)
+                    now + extra, Callback("memory.send", self, (endpoint, ack))
                 )
             else:
                 self._bus.send(self, endpoint, ack)
@@ -223,7 +226,7 @@ class MainMemory(Component):
             endpoint = self._endpoint(msg.requester_spe)
             ready = now + self.config.latency + (msg.count - 1) + self._stall()
             self.engine.call_at(
-                ready, lambda: self._bus.send(self, endpoint, response)
+                ready, Callback("memory.send", self, (endpoint, response))
             )
         elif isinstance(msg, DmaWriteRequest):
             self.stats.write_requests += 1
@@ -251,3 +254,6 @@ class MainMemory(Component):
 
     def describe_state(self) -> str:
         return f"{len(self._queue)} queued requests"
+
+
+register_callback("memory.send", MainMemory._send)

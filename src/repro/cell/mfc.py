@@ -34,6 +34,7 @@ from repro.core.messages import (
 )
 from repro.sim.component import Component
 from repro.sim.config import MFCConfig
+from repro.sim.engine import Callback, register_callback
 from repro.sim.stats import MFCStats
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -263,7 +264,7 @@ class MFC(Component):
                             attempt=attempt, wait=wait)
                 self.engine.call_at(
                     self.now + wait,
-                    lambda: self._launch_chunk(cmd, msg, attempt + 1),
+                    Callback("mfc.retry", self, (cmd, msg, attempt + 1)),
                 )
             else:
                 inj.stats.dma_fallbacks += 1
@@ -273,11 +274,14 @@ class MFC(Component):
         delay = inj.dma_chunk_delay(self.name)
         if delay:
             self.engine.call_at(
-                self.now + delay,
-                lambda: self._bus.send(self._endpoint, self._memory, msg),
+                self.now + delay, Callback("mfc.send", self, (msg,))
             )
         else:
             self._bus.send(self._endpoint, self._memory, msg)
+
+    def _send_chunk(self, msg) -> None:
+        """Dispatch a fault-delayed chunk request onto the bus."""
+        self._bus.send(self._endpoint, self._memory, msg)
 
     def _fallback_chunk(self, cmd: DmaCommand, msg) -> None:
         """Retries exhausted: the DMA engine gives up on this chunk and the
@@ -345,10 +349,13 @@ class MFC(Component):
                 self._g_inflight.observe(self.now, self._outstanding_bytes)
             if self._sanitizer is not None and cmd.kind is DmaKind.GET:
                 self._sanitizer.dma_write_end(self.name, cmd.command_id)
-            tid, tag = cmd.tid, cmd.tag
             self.engine.call_at(
-                finish, lambda: self._lse.dma_command_done(tid, tag)
+                finish, Callback("mfc.dma_done", self, (cmd.tid, cmd.tag))
             )
+
+    def _notify_done(self, tid: int, tag: int) -> None:
+        """Tell the LSE a command's last chunk has fully landed."""
+        self._lse.dma_command_done(tid, tag)
 
     @property
     def outstanding_commands(self) -> int:
@@ -364,3 +371,8 @@ class MFC(Component):
         return (
             f"{len(self._queue)} queued, {len(self._inflight)} in-flight commands"
         )
+
+
+register_callback("mfc.retry", MFC._launch_chunk)
+register_callback("mfc.send", MFC._send_chunk)
+register_callback("mfc.dma_done", MFC._notify_done)

@@ -39,7 +39,6 @@ from __future__ import annotations
 
 import enum
 import typing
-from typing import Callable
 
 from repro.cell.mfc import DmaKind
 from repro.core.messages import ReadRequest, WriteRequest
@@ -103,6 +102,10 @@ class SPU(Component):
 
     priority = 60  # tick after buses/memories/schedulers each cycle
 
+    #: ``_dec`` holds the running thread's DecodedProgram — rows carry
+    #: per-opcode closures, so it is rebuilt on restore, not serialized.
+    _SNAPSHOT_EXCLUDE = frozenset({"_dec"})
+
     def __init__(
         self,
         name: str,
@@ -142,8 +145,13 @@ class SPU(Component):
         self._stall_start = 0
         self._stall_bucket = Bucket.WORKING
         self._timed_until = 0
-        self._timed_action: Callable[[int], bool] | None = None
-        self._ext_on_value: Callable[[int], None] | None = None
+        #: Deferred action retried when the timed wait expires; a plain
+        #: data tuple (see _run_timed_action) so pipeline state stays
+        #: checkpoint-serializable.
+        self._timed_action: tuple | None = None
+        #: Destination register of the blocking external op (READ/FALLOC/
+        #: LSALLOC); None for waits that produce no value.
+        self._ext_rd: int | None = None
         self._ext_kind: str | None = None  # "value" | "lse_queue" | "write_credit"
         self._outstanding_writes = 0
         # Hub instruments (bound in _bind_metrics; None = observability off).
@@ -204,16 +212,16 @@ class SPU(Component):
         if self._state is not _State.EXTERNAL or self._ext_kind != "value":
             raise SpuFault(f"{self.name}: spurious unblock({value})")
         self._finish_external()
-        assert self._ext_on_value is not None
-        action, self._ext_on_value = self._ext_on_value, None
-        action(value)
+        rd, self._ext_rd = self._ext_rd, None
+        assert rd is not None
+        self.regs[rd] = value
         self.wake()
 
     def lse_queue_drained(self) -> None:
         """LSE: space opened in its SPU-side request queue."""
         if self._state is _State.EXTERNAL and self._ext_kind == "lse_queue":
             self._finish_external()
-            self._ext_on_value = None
+            self._ext_rd = None
             self.wake()
 
     def write_ack(self) -> None:
@@ -223,7 +231,7 @@ class SPU(Component):
         self._outstanding_writes -= 1
         if self._state is _State.EXTERNAL and self._ext_kind == "write_credit":
             self._finish_external()
-            self._ext_on_value = None
+            self._ext_rd = None
             self.wake()
 
     def read_response(self, value: int) -> None:
@@ -235,7 +243,7 @@ class SPU(Component):
         if self._state is not _State.EXTERNAL or self._ext_kind != "dmawait":
             raise SpuFault(f"{self.name}: spurious DMA-wait resume")
         self._finish_external()
-        self._ext_on_value = None
+        self._ext_rd = None
         self.wake()
 
     def _finish_external(self) -> None:
@@ -247,7 +255,7 @@ class SPU(Component):
     # -- blocking helpers ----------------------------------------------------------
 
     def _block_timed(
-        self, until: int, bucket: str, action: Callable[[int], bool] | None = None
+        self, until: int, bucket: str, action: tuple | None = None
     ) -> None:
         self._state = _State.TIMED
         self._stall_start = self.now
@@ -256,14 +264,27 @@ class SPU(Component):
         self._timed_action = action
         self.wake(until)
 
-    def _block_external(
-        self, kind: str, bucket: str, on_value: Callable[[int], None] | None = None
-    ) -> None:
+    def _block_external(self, kind: str, bucket: str, rd: int | None = None) -> None:
         self._state = _State.EXTERNAL
         self._stall_start = self.now
         self._stall_bucket = bucket
         self._ext_kind = kind
-        self._ext_on_value = on_value
+        self._ext_rd = rd
+
+    def _run_timed_action(self, action: tuple) -> bool:
+        """Execute a deferred timed action; True when it succeeded.
+
+        Actions are plain tuples so a TIMED pipeline snapshots cleanly;
+        the only kind today programs the MFC after the channel-interface
+        latency has been paid (retried every cycle while the queue is
+        full — the retry accrues in the same stall bucket).
+        """
+        if action[0] == "dma_enqueue":
+            _, kind, ls_addr, mem_addr, size, tag, tid, stride = action
+            return self._mfc.enqueue(
+                kind, ls_addr, mem_addr, size, tag, tid, stride=stride
+            )
+        raise SpuFault(f"{self.name}: unknown timed action {action[0]!r}")
 
     # -- component --------------------------------------------------------------------
 
@@ -277,7 +298,7 @@ class SPU(Component):
             self._stall_start = now
             action = self._timed_action
             if action is not None:
-                if not action(now):
+                if not self._run_timed_action(action):
                     # Retry next cycle, continuing to accrue the bucket.
                     self._timed_until = now + 1
                     return now + 1
@@ -758,9 +779,7 @@ class SPU(Component):
             rd = instr.rd
             self.pc += 1
             self._block_external(
-                "value",
-                self._bucket(Bucket.MEM_STALL),
-                on_value=lambda v, rd=rd: self.regs.__setitem__(rd, v),
+                "value", self._bucket(Bucket.MEM_STALL), rd=rd
             )
             if self._cache is not None:
                 # The cache answers hits after its own latency and fills
@@ -823,23 +842,17 @@ class SPU(Component):
                 self.pc += 1
                 return "stop"
             if op is Op.FALLOC:
-                rd = instr.rd
                 self._lse.spu_falloc(instr.imm, self._val(instr.ra))
                 self.pc += 1
                 self._block_external(
-                    "value",
-                    self._bucket(Bucket.LSE_STALL),
-                    on_value=lambda v, rd=rd: self.regs.__setitem__(rd, v),
+                    "value", self._bucket(Bucket.LSE_STALL), rd=instr.rd
                 )
                 return "yielded"
             # LSALLOC
-            rd = instr.rd
             self._lse.spu_lsalloc(thread, instr.imm)
             self.pc += 1
             self._block_external(
-                "value",
-                self._bucket(Bucket.LSE_STALL),
-                on_value=lambda v, rd=rd: self.regs.__setitem__(rd, v),
+                "value", self._bucket(Bucket.LSE_STALL), rd=instr.rd
             )
             return "yielded"
 
@@ -856,18 +869,14 @@ class SPU(Component):
                 size = instr.imm
                 stride = 4
 
-            def enqueue(_now: int, kind=kind, ls_addr=ls_addr,
-                        mem_addr=mem_addr, size=size, tag=tag, tid=tid,
-                        stride=stride) -> bool:
-                return self._mfc.enqueue(
-                    kind, ls_addr, mem_addr, size, tag, tid, stride=stride
-                )
-
             self.pc += 1
             self._block_timed(
                 now + self.machine_config.mfc.command_latency,
                 self._bucket(Bucket.PREFETCH),
-                action=enqueue,
+                action=(
+                    "dma_enqueue", kind, ls_addr, mem_addr, size, tag, tid,
+                    stride,
+                ),
             )
             return "yielded"
         if op is Op.DMAWAIT:
@@ -884,6 +893,20 @@ class SPU(Component):
             return "issued"
 
         raise SpuFault(f"{self.name}: unimplemented opcode {op.value}")
+
+    # -- checkpointing ---------------------------------------------------------------------------
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        # Re-derive the decoded mirror for the running thread.  ``_fast``
+        # came from the snapshot, so the restored process pins the same
+        # fast/slow path the checkpointing process was on — bit-identity
+        # does not depend on the REPRO_SIM_FAST env of the new process.
+        self._dec = (
+            self.thread.program.decoded
+            if self._fast and self.thread is not None
+            else None
+        )
 
     # -- diagnostics -----------------------------------------------------------------------------
 

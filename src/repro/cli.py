@@ -98,6 +98,9 @@ def _resilience_opts(args: argparse.Namespace) -> dict:
         "timeout": getattr(args, "task_timeout", None),
         "retries": getattr(args, "retries", None),
         "resume": getattr(args, "resume", False),
+        "checkpoint_every": getattr(args, "checkpoint_every", None),
+        "checkpoint_dir": getattr(args, "checkpoint_dir", None),
+        "keep_checkpoints": getattr(args, "keep_checkpoints", False),
     }
 
 
@@ -139,6 +142,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     cfg = _config(args)
     options = PrefetchOptions(worthwhile_threshold=args.threshold)
     if args.compare:
+        if args.restore:
+            raise SystemExit("--restore is incompatible with --compare")
         pair = run_pair(workload, cfg, options=options)
         _print_run("original DTA", pair.base)
         print()
@@ -146,9 +151,44 @@ def cmd_run(args: argparse.Namespace) -> int:
         print()
         print(f"speedup: {pair.speedup:.2f}x   "
               f"READs decoupled: {pair.decoupled_fraction:.0%}")
+    elif args.restore:
+        from repro.cell.machine import Machine
+        from repro.sim.snapshot import CheckpointError
+        from repro.workloads.common import check_outputs
+
+        try:
+            machine = Machine.load_checkpoint(args.restore)
+        except CheckpointError as exc:
+            raise SystemExit(f"--restore: {exc}")
+        expected = workload.activity.name
+        actual = machine._activity.name
+        if actual != expected:
+            raise SystemExit(
+                f"--restore: checkpoint holds activity {actual!r}, but "
+                f"benchmark {args.benchmark!r} expects {expected!r}"
+            )
+        _progress(
+            f"restored {args.restore} at cycle {machine.engine.now}; "
+            f"continuing"
+        )
+        run = machine.run(
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+        errors = check_outputs(workload, machine)
+        if errors:
+            raise SystemExit(
+                f"{workload.name}: wrong output after restore:\n"
+                + "\n".join(errors[:10])
+            )
+        _print_run(
+            "with prefetching" if run.prefetch else "original DTA", run
+        )
     else:
         run = run_workload(
-            workload, cfg, prefetch=args.prefetch, options=options
+            workload, cfg, prefetch=args.prefetch, options=options,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
         )
         _print_run(
             "with prefetching" if args.prefetch else "original DTA", run
@@ -454,7 +494,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--resume", action="store_true",
                        help="replay the sweep journal next to the result "
                             "cache and skip tasks an interrupted run "
-                            "already settled")
+                            "already settled (also prunes checkpoints of "
+                            "completed tasks)")
+        p.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="CYCLES",
+                       help="snapshot each running machine every N cycles "
+                            "so timed-out or killed tasks resume "
+                            "mid-simulation instead of restarting")
+        p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="where machine checkpoints live (default: "
+                            "checkpoints/ next to the result cache)")
+        p.add_argument("--keep-checkpoints", action="store_true",
+                       help="keep checkpoint files of completed tasks "
+                            "instead of deleting them")
         if keep_going:
             p.add_argument("--keep-going", action="store_true",
                            help="do not abort on a permanently failing "
@@ -470,6 +522,18 @@ def build_parser() -> argparse.ArgumentParser:
                        action="store_false", help="run the original DTA")
     group.add_argument("--compare", action="store_true",
                        help="run both variants and report the speedup")
+    p_run.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="CYCLES",
+                       help="snapshot the machine every N cycles to "
+                            "<checkpoint-dir>/<activity>.ckpt (atomically "
+                            "replaced; always the latest)")
+    p_run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="directory for --checkpoint-every snapshots "
+                            "(default: current directory)")
+    p_run.add_argument("--restore", default=None, metavar="CKPT",
+                       help="resume a checkpointed run of this benchmark "
+                            "and continue to completion (bit-identical to "
+                            "an uninterrupted run)")
     p_run.set_defaults(func=cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="scaling sweep (Figures 6-8)")

@@ -49,6 +49,7 @@ from repro.isa.program import BlockKind
 from repro.isa.semantics import alu_result
 from repro.sim.component import Component
 from repro.sim.config import LSEConfig, MachineConfig
+from repro.sim.engine import Callback, register_callback
 from repro.sim.stats import SchedulerStats
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -305,7 +306,9 @@ class LSE(Component):
         pf = thread.program.block(BlockKind.PF)
         # XP pipeline occupancy: one PF instruction per request_latency.
         delay = max(1, len(pf) * self.config.request_latency)
-        self.engine.call_at(self.now + delay, lambda: self._xp_run(thread))
+        self.engine.call_at(
+            self.now + delay, Callback("lse.xp_run", self, (thread,))
+        )
         return True
 
     def _xp_run(self, thread: ThreadInstance) -> None:
@@ -326,10 +329,14 @@ class LSE(Component):
         total_alloc = sum(i.imm for i in pf if i.op is Op.LSALLOC)
         dma_count = sum(1 for i in pf if i.op in (Op.DMAGET, Op.DMAPUT))
         if total_alloc and not self.allocator.can_alloc(total_alloc):
-            self.engine.call_at(self.now + 16, lambda: self._xp_run(thread))
+            self.engine.call_at(
+                self.now + 16, Callback("lse.xp_run", self, (thread,))
+            )
             return
         if dma_count and len(pf) and not self._mfc.queue_free:
-            self.engine.call_at(self.now + 8, lambda: self._xp_run(thread))
+            self.engine.call_at(
+                self.now + 8, Callback("lse.xp_run", self, (thread,))
+            )
             return
         assert thread.frame_addr is not None
         for instr in pf:
@@ -709,3 +716,6 @@ class LSE(Component):
             f"{len(self._waiting_lsallocs)} waiting LSALLOCs, "
             f"{sum(self._dma_outstanding.values())} DMA cmds outstanding"
         )
+
+
+register_callback("lse.xp_run", LSE._xp_run)

@@ -14,8 +14,15 @@ from repro.sim.config import (
     latency1_config,
     paper_config,
 )
-from repro.sim.engine import Engine, SimulationDeadlock, SimulationLimitExceeded
+from repro.sim.engine import (
+    Callback,
+    Engine,
+    SimulationDeadlock,
+    SimulationLimitExceeded,
+    register_callback,
+)
 from repro.sim.sanitize import InvariantViolation, Sanitizer
+from repro.sim.snapshot import CheckpointError, load_checkpoint, save_checkpoint
 from repro.sim.watchdog import ProgressWatchdog, SimulationLivelock
 from repro.sim.trace import TraceEvent, Tracer
 from repro.sim.stats import (
@@ -34,6 +41,11 @@ from repro.sim.stats import (
 __all__ = [
     "Component",
     "Engine",
+    "Callback",
+    "register_callback",
+    "CheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
     "SimulationDeadlock",
     "SimulationLimitExceeded",
     "SimulationLivelock",

@@ -22,7 +22,13 @@ from typing import Callable, Iterable
 
 from repro.sim.component import Component
 
-__all__ = ["Engine", "SimulationDeadlock", "SimulationLimitExceeded"]
+__all__ = [
+    "Engine",
+    "Callback",
+    "register_callback",
+    "SimulationDeadlock",
+    "SimulationLimitExceeded",
+]
 
 
 class SimulationDeadlock(RuntimeError):
@@ -31,6 +37,69 @@ class SimulationDeadlock(RuntimeError):
 
 class SimulationLimitExceeded(RuntimeError):
     """The run hit ``max_cycles`` before the stop condition was satisfied."""
+
+
+#: Registry of re-armable callback kinds: name -> unbound function invoked
+#: as ``fn(owner, *payload)``.  Every production ``call_at`` site registers
+#: its kind here so a heap full of pending callbacks is pure data — a
+#: checkpoint can serialize it and a restored process can re-arm it.
+_CALLBACK_KINDS: dict[str, Callable] = {}
+
+
+def register_callback(kind: str, fn: Callable) -> None:
+    """Register ``fn`` as the executor for callback descriptors of ``kind``.
+
+    ``fn`` is called as ``fn(owner, *payload)``; registering an unbound
+    method (``register_callback("bus.deliver", Bus._deliver)``) makes the
+    descriptor behave exactly like the bound-method closure it replaces.
+    Re-registering a kind with a different function is an error — kinds
+    are global names and a silent overwrite would re-arm restored
+    checkpoints with the wrong behavior.
+    """
+    existing = _CALLBACK_KINDS.get(kind)
+    if existing is not None and existing is not fn:
+        raise ValueError(f"callback kind {kind!r} already registered")
+    _CALLBACK_KINDS[kind] = fn
+
+
+class Callback:
+    """Serializable one-shot event descriptor scheduled via ``call_at``.
+
+    Replaces the opaque closures the heap used to hold: a descriptor is
+    ``(kind, owner, payload)`` where ``kind`` names a registered executor,
+    ``owner`` is the component (or other snapshot-addressable object) the
+    event belongs to and ``payload`` is a tuple of plain data.  Descriptors
+    support lazy cancellation: a cancelled descriptor stays in the heap
+    but is skipped (and counted as stale) at dispatch.
+    """
+
+    __slots__ = ("kind", "owner", "payload", "cancelled")
+
+    def __init__(self, kind: str, owner: object, payload: tuple = ()) -> None:
+        if kind not in _CALLBACK_KINDS:
+            raise ValueError(f"unregistered callback kind {kind!r}")
+        self.kind = kind
+        self.owner = owner
+        self.payload = payload
+        self.cancelled = False
+
+    def __call__(self) -> None:
+        _CALLBACK_KINDS[self.kind](self.owner, *self.payload)
+
+    def describe(self) -> str:
+        owner = getattr(self.owner, "name", None) or repr(self.owner)
+        return f"{self.kind}({owner})"
+
+    # __slots__ classes need explicit pickle support.
+    def __getstate__(self) -> tuple:
+        return (self.kind, self.owner, self.payload, self.cancelled)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.kind, self.owner, self.payload, self.cancelled = state
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flag = " cancelled" if self.cancelled else ""
+        return f"<Callback {self.describe()}{flag}>"
 
 
 class Engine:
@@ -139,11 +208,14 @@ class Engine:
             (cycle, component.priority, component._order, self._seq, component),
         )
 
-    def call_at(self, cycle: int, callback: Callable[[], None]) -> None:
+    def call_at(self, cycle: int, callback: "Callback | Callable[[], None]") -> None:
         """Run ``callback`` at the start of ``cycle`` (before ticks).
 
         Callbacks are one-shot and ordered before component ticks at the
-        same cycle (priority ``-1``).
+        same cycle (priority ``-1``).  Production sites pass a
+        :class:`Callback` descriptor so the heap stays serializable; bare
+        callables are still accepted for tests and ad-hoc scripting but
+        make the engine uncheckpointable while they are pending.
         """
         if cycle <= self._now:
             cycle = self._now + 1
@@ -151,14 +223,30 @@ class Engine:
         self._seq += 1
         heapq.heappush(self._heap, (cycle, -1, 0, self._seq, callback))
 
+    def cancel(self, callback: Callback) -> None:
+        """Lazily cancel a pending :class:`Callback` descriptor.
+
+        The heap entry stays behind (and is skipped at dispatch, counted
+        in ``stale_skipped``) — exactly the lazy-deletion discipline
+        superseded component ticks already use.  Idempotent.
+        """
+        if not callback.cancelled:
+            callback.cancelled = True
+            self._callbacks -= 1
+
+    @staticmethod
+    def _entry_live(entry: tuple) -> bool:
+        """True when a heap entry will actually dispatch (not lazily dead)."""
+        target = entry[4]
+        if isinstance(target, Component):
+            return target._scheduled_at == entry[0]
+        if isinstance(target, Callback):
+            return not target.cancelled
+        return True
+
     def _compact(self) -> None:
         """Drop stale heap entries and re-heapify in place."""
-        self._heap[:] = [
-            entry
-            for entry in self._heap
-            if not isinstance(entry[4], Component)
-            or entry[4]._scheduled_at == entry[0]
-        ]
+        self._heap[:] = [e for e in self._heap if self._entry_live(e)]
         heapq.heapify(self._heap)
         self.compactions += 1
 
@@ -168,13 +256,30 @@ class Engine:
         self,
         until: Callable[[], bool] | None = None,
         max_cycles: int | None = None,
+        checkpoint_every: int | None = None,
+        on_checkpoint: Callable[[int], None] | None = None,
     ) -> int:
         """Run until ``until()`` is true (checked between cycles).
 
         Returns the final cycle count.  Raises :class:`SimulationDeadlock`
         if the queue drains first, or :class:`SimulationLimitExceeded` if
         ``max_cycles`` is hit.
+
+        ``checkpoint_every`` (with ``on_checkpoint``) invokes the hook at
+        the first *visited* cycle at or past each N-cycle boundary, after
+        ``self.now`` has advanced to that cycle but before any of its
+        events dispatch — the exact state a restore re-enters, so a
+        restored run re-derives the same cycle and dispatches identically.
+        When off it costs one ``is not None`` test per visited cycle.
         """
+        if checkpoint_every is not None:
+            if on_checkpoint is None:
+                raise ValueError("checkpoint_every requires on_checkpoint")
+            if checkpoint_every <= 0:
+                raise ValueError("checkpoint_every must be positive")
+            next_ckpt: int | None = self._now + checkpoint_every
+        else:
+            next_ckpt = None
         heap = self._heap
         while True:
             if until is not None and until():
@@ -187,6 +292,9 @@ class Engine:
             if max_cycles is not None and cycle > max_cycles:
                 raise SimulationLimitExceeded(self._limit_report(max_cycles))
             self._now = cycle
+            if next_ckpt is not None and cycle >= next_ckpt:
+                on_checkpoint(cycle)
+                next_ckpt = cycle + checkpoint_every
             # Dispatch every event scheduled for this cycle, in
             # (priority, registration-order) order — same-priority ties
             # resolve by *registration* index, not push order, so the
@@ -213,6 +321,9 @@ class Engine:
                             )
                         self.schedule(target, nxt)
                 else:
+                    if isinstance(target, Callback) and target.cancelled:
+                        self.stale_skipped += 1
+                        continue  # lazily-cancelled descriptor
                     self._callbacks -= 1
                     self.callbacks_dispatched += 1
                     target()
@@ -252,24 +363,23 @@ class Engine:
         return "\n".join(lines)
 
     def peek_events(self, limit: int = 8) -> list[str]:
-        """The next ``limit`` queued events, formatted, in dispatch order."""
+        """The next ``limit`` *live* queued events, formatted, in dispatch
+        order — stale lazily-deleted ticks and cancelled callbacks are
+        filtered out so deadlock/livelock/limit reports never name dead
+        events."""
         # nsmallest over a filtering generator: O(n log limit) with no
         # copy of the heap, instead of the old filter-everything-and-sort
         # O(n log n) pass (peek runs inside limit-exceeded reporting and
         # interactive debugging where the heap can be large).
         live = heapq.nsmallest(
-            limit,
-            (
-                entry
-                for entry in self._heap
-                if not isinstance(entry[4], Component)
-                or entry[4]._scheduled_at == entry[0]
-            ),
+            limit, (entry for entry in self._heap if self._entry_live(entry))
         )
         lines = []
         for cycle, _prio, _order, _seq, target in live:
             if isinstance(target, Component):
                 lines.append(f"cycle {cycle}: tick {target.name}")
+            elif isinstance(target, Callback):
+                lines.append(f"cycle {cycle}: callback {target.describe()}")
             else:
                 name = getattr(target, "__qualname__", repr(target))
                 lines.append(f"cycle {cycle}: callback {name}")
@@ -277,7 +387,6 @@ class Engine:
 
     def pending_events(self) -> Iterable[tuple[int, object]]:
         """(cycle, target) pairs currently queued, unordered (for tests)."""
-        for cycle, _prio, _order, _seq, target in self._heap:
-            if isinstance(target, Component) and target._scheduled_at != cycle:
-                continue
-            yield cycle, target
+        for entry in self._heap:
+            if self._entry_live(entry):
+                yield entry[0], entry[4]

@@ -48,13 +48,20 @@ class ProgressWatchdog(Component):
         done: Callable[[], bool] | None = None,
         components: Sequence[Component] | None = None,
         detail: Callable[[], str] | None = None,
+        checkpoint: "Callable[[], str | None] | None" = None,
+        last_checkpoint: "Callable[[], tuple[int, str] | None] | None" = None,
     ) -> None:
         """``progress`` returns a comparable snapshot; any change counts
         as forward progress.  ``done`` (when given) retires the watchdog —
         it stops rescheduling so a post-run ``Engine.drain`` terminates.
         ``components`` are described in the report (default: everything
         registered with the engine); ``detail`` contributes extra report
-        lines (in-flight DMA, ready-queue depths, ...).
+        lines (in-flight DMA, ready-queue depths, ...).  ``checkpoint``
+        (when given) is invoked just before raising
+        :class:`SimulationLivelock` so the diagnosed state is *preserved*,
+        not merely described — it returns the path written, or None when
+        checkpointing is not configured for this run.  ``last_checkpoint``
+        reports the (cycle, path) of the most recent periodic checkpoint.
         """
         super().__init__(name)
         if interval < 1:
@@ -70,6 +77,8 @@ class ProgressWatchdog(Component):
         self._done = done
         self._components = components
         self._detail = detail
+        self._checkpoint = checkpoint
+        self._last_checkpoint = last_checkpoint
         self._last_snapshot: object = None
         self._last_change = 0
         self._started = False
@@ -96,7 +105,11 @@ class ProgressWatchdog(Component):
             self._last_snapshot = snapshot
             self._last_change = now
         elif now - self._last_change >= self.stall_cycles:
-            raise SimulationLivelock(self.report(now))
+            saved = self._checkpoint() if self._checkpoint is not None else None
+            report = self.report(now)
+            if saved is not None:
+                report += f"\nstate checkpointed to: {saved}"
+            raise SimulationLivelock(report)
         return now + self.interval
 
     # -- diagnostics -------------------------------------------------------
@@ -109,6 +122,23 @@ class ProgressWatchdog(Component):
         ]
         if self._detail is not None:
             lines.append(self._detail())
+        engine = self.engine
+        lines.append(
+            f"engine: {engine.pending_count} live events pending "
+            f"({engine.stale_count} stale), {engine.ticks_dispatched} ticks "
+            f"and {engine.callbacks_dispatched} callbacks dispatched, "
+            f"{engine.compactions} heap compactions"
+        )
+        last = (
+            self._last_checkpoint() if self._last_checkpoint is not None
+            else None
+        )
+        if last is not None:
+            lines.append(
+                f"last checkpoint: cycle {last[0]} -> {last[1]}"
+            )
+        else:
+            lines.append("last checkpoint: none taken")
         components = (
             self._components
             if self._components is not None
