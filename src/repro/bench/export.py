@@ -80,6 +80,9 @@ def run_to_dict(run: RunResult, profile=None) -> dict:
             "bus_duplicates_absorbed":
                 run.stats.faults.bus_duplicates_absorbed,
             "mem_stalls": run.stats.faults.mem_stalls,
+            # Data-fault injection and recovery counters (all zero for
+            # timing-only plans).
+            **run.stats.faults.recovery_counters(),
         },
     }
     if profile is not None:
@@ -149,6 +152,7 @@ def reproduce_all(
     checkpoint_every: "int | None" = None,
     checkpoint_dir: "str | None" = None,
     keep_checkpoints: bool = False,
+    faults: "str | None" = None,
 ) -> dict:
     """Execute the full experiment matrix (Figures 5-9, Table 5, L1).
 
@@ -176,24 +180,34 @@ def reproduce_all(
     from the Table 5 / Figure 5 / Figure 9 sections.
     """
     from repro.bench.parallel import TaskFailure, pair_tasks, run_many_detailed
+    from repro.faults.plan import FaultPlan
 
     def log(msg: str) -> None:
         if progress is not None:
             progress(msg)
 
+    # Validate the fault spec before anything is built or spawned — a
+    # typo'd key must fail here, not deep inside a worker process.
+    plan = FaultPlan.parse(faults) if faults else None
+
+    def _cfg(config):
+        return config.replace(faults=plan) if plan is not None else config
+
     scale = scale or current_scale()
     axis = tuple(spes or spe_counts())
     result: dict = {"scale": scale, "spes": list(axis), "experiments": {}}
+    if plan is not None:
+        result["faults"] = plan.describe()
 
     workloads = {name: build() for name, build in builders(scale).items()}
     tasks = []
     slots: list[tuple[str, str, int]] = []  # (experiment, workload, spes)
     for name, workload in workloads.items():
         for n in axis:
-            tasks.extend(pair_tasks(workload, paper_config(n)))
+            tasks.extend(pair_tasks(workload, _cfg(paper_config(n))))
             slots.append(("scaling", name, n))
     for name, workload in workloads.items():
-        tasks.extend(pair_tasks(workload, latency1_config(max(axis))))
+        tasks.extend(pair_tasks(workload, _cfg(latency1_config(max(axis)))))
         slots.append(("latency1", name, max(axis)))
 
     log(f"running {len(tasks)} simulations "
@@ -263,6 +277,9 @@ def reproduce_all(
                 "kind": info.kind,
                 "attempts": info.attempts,
                 "error": f"{type(info.error).__name__}: {info.error}",
+                # Fault/recovery counters at the point of failure, when
+                # the error carried them (DataCorruptionError does).
+                "faults": info.faults,
             }
             for i, info in sorted(batch.failures.items())
         ]

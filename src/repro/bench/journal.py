@@ -56,6 +56,10 @@ class JournalEntry:
     #: written by timeout/crash retries so a later ``resume`` can prune
     #: or reuse it.  Absent in journals written by older code.
     checkpoint: str | None = None
+    #: Fault-injection / recovery counters at the point of failure
+    #: (re-fetches, re-executions, ...), when the final error carried
+    #: them — :class:`~repro.faults.integrity.DataCorruptionError` does.
+    faults: "dict | None" = None
 
     @property
     def done(self) -> bool:
@@ -107,6 +111,7 @@ class SweepJournal:
         duration: float,
         error: str,
         checkpoint: "str | None" = None,
+        faults: "dict | None" = None,
     ) -> None:
         """Checkpoint a task that exhausted its retry budget."""
         self._append(
@@ -120,6 +125,7 @@ class SweepJournal:
                 "duration": round(duration, 6),
                 "error": error,
                 "checkpoint": checkpoint,
+                "faults": faults,
             }
         )
 
@@ -179,6 +185,10 @@ class SweepJournal:
                     duration=float(raw.get("duration", 0.0)),
                     error=raw.get("error"),
                     checkpoint=raw.get("checkpoint"),
+                    faults=(
+                        raw["faults"]
+                        if isinstance(raw.get("faults"), dict) else None
+                    ),
                 )
             except (KeyError, TypeError, ValueError):
                 continue

@@ -109,6 +109,10 @@ class FailureInfo:
     kind: str  #: :data:`TIMEOUT`, :data:`CRASH` or :data:`ERROR`
     attempts: int  #: executions performed (1 = failed on first try)
     error: Exception  #: the last exception observed
+    #: Fault-injection / recovery counters at the point of failure
+    #: (re-fetches, re-executions, ...), when the error carried them —
+    #: :class:`~repro.faults.integrity.DataCorruptionError` does.
+    faults: "dict | None" = None
 
     def describe(self) -> str:
         return (
@@ -599,8 +603,12 @@ def run_many_detailed(
         i: int, exc: Exception, kind: str, duration: float = 0.0,
         record: bool = True,
     ) -> None:
+        fault_stats = getattr(exc, "fault_stats", None)
+        if not isinstance(fault_stats, dict):
+            fault_stats = None
         batch.failures[i] = FailureInfo(
-            kind=kind, attempts=batch.attempts[i], error=exc
+            kind=kind, attempts=batch.attempts[i], error=exc,
+            faults=fault_stats,
         )
         # A failed task's checkpoint is kept: it is the resume point of
         # the next attempt (and the preserved state of the diagnosis).
@@ -612,6 +620,7 @@ def run_many_detailed(
                 keys[i], tasks[i].label, kind, batch.attempts[i], duration,
                 f"{type(exc).__name__}: {exc}",
                 checkpoint=ckpt,
+                faults=fault_stats,
             )
         if progress is not None:
             progress(
@@ -658,14 +667,15 @@ def run_many_detailed(
             # simulator.
             batch.attempts[i] = entry.attempts
             batch.resumed += 1
-            fail(
-                i,
-                RuntimeError(
-                    f"replayed from journal: {entry.error or 'task failed'}"
-                ),
-                ERROR,
-                record=False,
+            replay_exc = RuntimeError(
+                f"replayed from journal: {entry.error or 'task failed'}"
             )
+            if entry.faults is not None:
+                # Re-surface the recovery counters the original failure
+                # recorded, so a degraded manifest built from a resumed
+                # batch still names them.
+                replay_exc.fault_stats = entry.faults
+            fail(i, replay_exc, ERROR, record=False)
             continue
         if ckpt_paths[i] is not None:
             tasks[i] = replace(

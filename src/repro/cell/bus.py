@@ -19,7 +19,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
-from repro.core.messages import Message
+from repro.core.messages import Message, StoreMsg
+from repro.faults.integrity import flip_word_bit, store_check
 from repro.sim.component import Component
 from repro.sim.config import BusConfig
 from repro.sim.engine import Callback, register_callback
@@ -97,6 +98,15 @@ class Bus(Component):
         node 0).
         """
         src_node = getattr(src, "node_id", 0) if src is not None else 0
+        inj = self._injector
+        if (inj is not None and inj.plan.data_active
+                and type(msg) is StoreMsg):
+            # Stamp the integrity check code as the message enters the
+            # bus — the one point every frame store (LSE or PPE) passes —
+            # so corruption in transit is detectable at the LSE commit
+            # boundary.
+            msg = StoreMsg(handle=msg.handle, slot=msg.slot,
+                           value=msg.value, check=store_check(msg.value))
         self._next_seq += 1
         self._queue.append(
             _Transfer(src_node=src_node, dst=dst, msg=msg,
@@ -144,6 +154,23 @@ class Bus(Component):
             inj = self._injector
             if inj is not None:
                 finish += inj.bus_transfer_delay()
+                if inj.plan.data_active and type(t.msg) is StoreMsg:
+                    bit = inj.store_corruption()
+                    if bit is not None:
+                        # Flip one payload bit in transit; the stamped
+                        # check code still describes the original value,
+                        # which is how the LSE detects (and corrects)
+                        # the damage.  Replace the message before the
+                        # delivery callbacks are scheduled so an
+                        # injected duplicate carries the same bytes.
+                        m = t.msg
+                        self._trace("data-fault", what="store-corrupt",
+                                    seq=t.seq, bit=bit)
+                        t.msg = StoreMsg(
+                            handle=m.handle, slot=m.slot,
+                            value=flip_word_bit(m.value, bit),
+                            check=m.check,
+                        )
             self._undelivered.add(t.seq)
             self.engine.call_at(finish, Callback("bus.deliver", self, (t,)))
             if inj is not None and inj.bus_duplicate():

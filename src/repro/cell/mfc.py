@@ -32,6 +32,7 @@ from repro.core.messages import (
     DmaReadResponse,
     DmaWriteRequest,
 )
+from repro.faults.integrity import checksum_words, corrupt_words
 from repro.sim.component import Component
 from repro.sim.config import MFCConfig
 from repro.sim.engine import Callback, register_callback
@@ -67,6 +68,9 @@ class DmaCommand:
     done_chunks: int = 0
     #: Byte distance between gathered elements (4 = contiguous transfer).
     stride: int = 4
+    #: Whole-transfer re-fetches performed after checksum mismatches
+    #: (bounded by the fault plan's ``data_max_refetches``).
+    refetches: int = 0
 
     @property
     def issued_all(self) -> bool:
@@ -104,6 +108,7 @@ class MFC(Component):
         self._m_bytes = None
         self._m_commands = None
         self._g_inflight = None
+        self._m_refetches = None
         # Wired by the SPE/machine.
         self._bus = None
         self._memory = None
@@ -117,6 +122,7 @@ class MFC(Component):
         self._m_bytes = hub.bucket_series(f"{prefix}.bytes")
         self._m_commands = hub.counter(f"{prefix}.commands")
         self._g_inflight = hub.gauge(f"{prefix}.inflight_bytes")
+        self._m_refetches = hub.counter(f"{prefix}.refetches")
 
     def wire(self, bus, memory, lse, endpoint, injector=None,
              sanitizer=None) -> None:
@@ -325,9 +331,20 @@ class MFC(Component):
             )
         if cmd.kind is DmaKind.GET:
             offset, csize = cmd.chunks[msg.chunk_index]
-            self.ls.write_block(cmd.ls_addr + offset, msg.words)
+            words = msg.words
+            inj = self._injector
+            if inj is not None and inj.plan.data_active:
+                fault = inj.dma_chunk_corruption(self.name)
+                if fault is not None:
+                    self._trace("data-fault", what=fault[0],
+                                command=cmd.command_id, tag=cmd.tag)
+                    words = corrupt_words(words, fault)
+            if words is not None:
+                self.ls.write_block(cmd.ls_addr + offset, words)
             # Charge LS write ports: 16 B per port-cycle, starting at the
-            # first cycle with a free port.
+            # first cycle with a free port.  Charged identically whether
+            # or not the payload was corrupted — data faults damage
+            # bytes, not the port schedule.
             cycles = max(1, -(-csize // _LS_WRITE_BYTES_PER_CYCLE))
             when = self.now
             for _ in range(cycles):
@@ -343,6 +360,12 @@ class MFC(Component):
         """Retire one chunk; on the last, notify the LSE at ``finish``."""
         cmd.done_chunks += 1
         if cmd.complete:
+            inj = self._injector
+            if (inj is not None and inj.plan.data_active
+                    and cmd.kind is DmaKind.GET
+                    and not self._verify_transfer(cmd)):
+                self._transfer_corrupt(cmd)
+                return
             del self._inflight[cmd.command_id]
             self._outstanding_bytes -= cmd.size
             if self._g_inflight is not None:
@@ -352,6 +375,63 @@ class MFC(Component):
             self.engine.call_at(
                 finish, Callback("mfc.dma_done", self, (cmd.tid, cmd.tag))
             )
+
+    # -- transfer integrity ------------------------------------------------------
+
+    def _verify_transfer(self, cmd: DmaCommand) -> bool:
+        """Compare the landed LS region against the source checksum.
+
+        The source checksum is computed over the transfer's main-memory
+        words (stride-aware for gathers) — exactly what an MFC stamping
+        a checksum onto the transfer descriptor would carry.
+        """
+        n = cmd.size // 4
+        got = checksum_words(self.ls.read_block(cmd.ls_addr, n))
+        if cmd.stride > 4:
+            source = (
+                self._memory.read_word(cmd.mem_addr + i * cmd.stride)
+                for i in range(n)
+            )
+        else:
+            source = self._memory.read_block(cmd.mem_addr, n)
+        return got == checksum_words(source)
+
+    def _transfer_corrupt(self, cmd: DmaCommand) -> None:
+        """A completed GET failed verification: re-fetch the whole
+        transfer, or escalate to the LSE once the budget is exhausted.
+
+        The re-fetch is synchronous bookkeeping (reset chunk cursors,
+        back into the command queue) — no new callback kinds, so a
+        checkpoint taken mid re-fetch restores for free.  The command
+        stays accounted in ``_outstanding_bytes`` and keeps its
+        sanitizer LS-range registration: it is still the same in-flight
+        transfer, just trying again.
+        """
+        inj = self._injector
+        inj.stats.dma_verify_failures += 1
+        if cmd.refetches < inj.plan.data_max_refetches:
+            cmd.refetches += 1
+            inj.stats.dma_refetches += 1
+            if self._m_refetches is not None:
+                self._m_refetches.add()
+            self._trace("dma-reverify", command=cmd.command_id, tag=cmd.tag,
+                        tid=cmd.tid, attempt=cmd.refetches)
+            del self._inflight[cmd.command_id]
+            cmd.next_chunk = 0
+            cmd.done_chunks = 0
+            self._queue.append(cmd)
+            self.wake()
+            return
+        # Budget exhausted: cancel the command and hand the decision to
+        # the LSE, which squashes the owning thread for re-execution or
+        # raises a structured DataCorruptionError.
+        del self._inflight[cmd.command_id]
+        self._outstanding_bytes -= cmd.size
+        if self._g_inflight is not None:
+            self._g_inflight.observe(self.now, self._outstanding_bytes)
+        if self._sanitizer is not None:
+            self._sanitizer.dma_write_end(self.name, cmd.command_id)
+        self._lse.transfer_corrupt(cmd)
 
     def _notify_done(self, tid: int, tag: int) -> None:
         """Tell the LSE a command's last chunk has fully landed."""

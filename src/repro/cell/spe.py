@@ -67,13 +67,15 @@ class SPE(BusEndpoint):
     def wire(self, bus, memory, dse, machine, injector=None,
              sanitizer=None) -> None:
         self.spu.wire(lse=self.lse, mfc=self.mfc, bus=bus, memory=memory,
-                      endpoint=self, cache=self.cache)
+                      endpoint=self, cache=self.cache,
+                      injector=injector, sanitizer=sanitizer)
         self.mfc.wire(bus=bus, memory=memory, lse=self.lse, endpoint=self,
                       injector=injector, sanitizer=sanitizer)
         if self.cache is not None:
             self.cache.wire(bus=bus, memory=memory, endpoint=self)
         self.lse.wire(bus=bus, dse=dse, spu=self.spu, mfc=self.mfc,
-                      endpoint=self, machine=machine, sanitizer=sanitizer)
+                      endpoint=self, machine=machine, sanitizer=sanitizer,
+                      injector=injector)
 
     # -- bus endpoint routing -----------------------------------------------
 

@@ -128,6 +128,11 @@ class SPU(Component):
         self._memory = None
         self._endpoint = None
         self._cache = None
+        self._sanitizer = None  # optional Sanitizer
+        #: True only when a data-corrupting fault plan is active: every
+        #: frame LOAD then consults the LSE's poison table.  Plain bool
+        #: so the fault-free issue loop pays one predictable branch.
+        self._check_loads = False
         # Architectural state.
         self.thread: ThreadInstance | None = None
         self.pc = 0
@@ -171,13 +176,18 @@ class SPU(Component):
         self._m_issue_cycles = hub.counter(f"{prefix}.issue_cycles")
         self._m_dual_issue = hub.counter(f"{prefix}.dual_issue_cycles")
 
-    def wire(self, lse, mfc, bus, memory, endpoint, cache=None) -> None:
+    def wire(self, lse, mfc, bus, memory, endpoint, cache=None,
+             injector=None, sanitizer=None) -> None:
         self._lse = lse
         self._mfc = mfc
         self._bus = bus
         self._memory = memory
         self._endpoint = endpoint
         self._cache = cache
+        self._sanitizer = sanitizer
+        self._check_loads = (
+            injector is not None and injector.plan.data_active
+        )
 
     # -- accounting ---------------------------------------------------------
 
@@ -335,6 +345,8 @@ class SPU(Component):
         else:
             self.pc = self._pf_end
             thread.transition(ThreadState.EXECUTING)
+        if self._sanitizer is not None:
+            self._sanitizer.thread_started(self.name, thread.tid)
         self.stats.threads_executed += 1
         self._trace(
             "dispatch", tid=thread.tid, template=thread.program.name,
@@ -445,6 +457,17 @@ class SPU(Component):
                 return self._timed_until if self._state is _State.TIMED else None
             if outcome == "retry":
                 break  # structural conflict; retry next cycle
+            if outcome == "squashed":
+                # Data-fault recovery pulled the thread off the pipeline;
+                # the aborted LOAD is not counted as issued.
+                self._detach()
+                self._charge_issue(issued, now, penalty, cycle_bucket)
+                if not self._try_dispatch(now):
+                    return None
+                if self._state is _State.TIMED:
+                    self._stall_start = now + 1
+                    return self._timed_until
+                return now + 1
             # Issued.
             issued += 1
             self.stats.mix.record(instr.op.value)
@@ -621,6 +644,17 @@ class SPU(Component):
                 return self._timed_until if self._state is _State.TIMED else None
             if outcome == "retry":
                 break  # structural conflict; retry next cycle
+            if outcome == "squashed":
+                # Data-fault recovery pulled the thread off the pipeline;
+                # the aborted LOAD is not counted as issued.
+                self._detach()
+                self._charge_issue(issued, now, penalty, cycle_bucket)
+                if not self._try_dispatch(now):
+                    return None
+                if self._state is _State.TIMED:
+                    self._stall_start = now + 1
+                    return self._timed_until
+                return now + 1
             issued += 1
             stats.mix.record(row[D_NAME])
             mem_used = True  # every delegated op occupies the MEM slot
@@ -755,7 +789,15 @@ class SPU(Component):
             lat = self.machine_config.local_store.latency
             if op is Op.LOAD:
                 assert thread.frame_addr is not None
-                value = self.ls.read_word(thread.frame_addr + 4 * instr.imm)
+                addr = thread.frame_addr + 4 * instr.imm
+                if self._check_loads and self._lse.check_poisoned_load(
+                    thread, addr
+                ):
+                    # The word was poisoned by a corrupted producer
+                    # store; the LSE scrubbed it and squashed the thread
+                    # for re-execution before anything was consumed.
+                    return "squashed"
+                value = self.ls.read_word(addr)
                 self.regs[instr.rd] = value
                 self._scoreboard[instr.rd] = (now + lat, Unit.LS)
             elif op is Op.STOREF:
@@ -803,6 +845,7 @@ class SPU(Component):
                 return "retry"
             addr = self._val(instr.ra) + instr.imm
             value = self._val(instr.rb)
+            thread.side_effects = True
             self._outstanding_writes += 1
             if self._cache is not None:
                 self._cache.write(addr, value)  # write-through: keep fresh
@@ -827,12 +870,14 @@ class SPU(Component):
                     return "blocked"
                 return "retry"
             if op is Op.STORE:
+                thread.side_effects = True
                 self._lse.spu_store(
                     self._val(instr.ra), instr.imm, self._val(instr.rb)
                 )
                 self.pc += 1
                 return "issued"
             if op is Op.FFREE:
+                thread.side_effects = True
                 self._lse.spu_ffree(self._val(instr.ra))
                 self.pc += 1
                 return "issued"
@@ -842,6 +887,7 @@ class SPU(Component):
                 self.pc += 1
                 return "stop"
             if op is Op.FALLOC:
+                thread.side_effects = True
                 self._lse.spu_falloc(instr.imm, self._val(instr.ra))
                 self.pc += 1
                 self._block_external(
@@ -868,7 +914,11 @@ class SPU(Component):
             else:
                 size = instr.imm
                 stride = 4
-
+            if kind is DmaKind.PUT or self.pc >= self._pf_end:
+                # PUTs mutate main memory; EX-block GETs may observe it
+                # mid-run.  Either way the thread is no longer replayable
+                # for data-fault recovery.  PF-block GETs stay replayable.
+                thread.side_effects = True
             self.pc += 1
             self._block_timed(
                 now + self.machine_config.mfc.command_latency,

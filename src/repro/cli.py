@@ -67,6 +67,21 @@ def _apply_robustness(cfg: MachineConfig, args: argparse.Namespace) -> MachineCo
     return cfg
 
 
+def _validate_faults(args: argparse.Namespace) -> "str | None":
+    """Eagerly parse ``--faults`` so a typo'd key fails before any
+    workload is built or worker pool spawned; returns the raw spec."""
+    spec = getattr(args, "faults", None)
+    if spec:
+        from repro.faults import FaultPlanError
+        from repro.faults.plan import FaultPlan
+
+        try:
+            FaultPlan.parse(spec)
+        except FaultPlanError as exc:
+            raise SystemExit(f"--faults: {exc}")
+    return spec
+
+
 def _config(args: argparse.Namespace) -> MachineConfig:
     cfg = paper_config(num_spes=args.spes)
     if args.latency is not None:
@@ -197,6 +212,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    _validate_faults(args)
     build = builders(args.scale)[args.benchmark]
 
     def config_for(n: int) -> MachineConfig:
@@ -279,7 +295,8 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     opts = _resilience_opts(args)
     data = reproduce_all(
         scale=args.scale, spes=tuple(args.spes), progress=_progress,
-        jobs=args.jobs, cache=cache, keep_going=args.keep_going, **opts,
+        jobs=args.jobs, cache=cache, keep_going=args.keep_going,
+        faults=_validate_faults(args), **opts,
     )
     text = to_json(data)
     if args.output:
@@ -291,12 +308,21 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     if args.csv:
         from repro.bench.scale import builders as _builders
 
+        def csv_config(n: int) -> MachineConfig:
+            # Same config reproduce_all used, fault plan included, so the
+            # sweep replays from the cache instead of re-simulating.
+            cfg = paper_config(n)
+            if getattr(args, "faults", None):
+                cfg = cfg.with_faults(args.faults)
+            return cfg
+
         # With the cache on, these sweeps replay the runs reproduce_all
         # just finished, so the CSV costs no extra simulation.
         with open(args.csv, "w") as fh:
             for name, build in _builders(args.scale).items():
                 scaling = _sweep(
-                    build, spes=tuple(args.spes), jobs=args.jobs, cache=cache,
+                    build, spes=tuple(args.spes), config_for=csv_config,
+                    jobs=args.jobs, cache=cache,
                     keep_going=args.keep_going, **opts,
                 )
                 if scaling.pairs:
@@ -467,7 +493,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--faults", default=None, metavar="SPEC",
                        help="inject seeded faults, e.g. "
                             "seed=3,dma_drop=0.05,bus_dup=0.02 "
-                            "(timing-only; results stay bit-identical)")
+                            "(timing-only; results stay bit-identical) or "
+                            "corrupting data faults, e.g. "
+                            "seed=3,data_flip=0.1,data_truncate=0.05 "
+                            "(detected, recovered by bounded re-fetch / "
+                            "thread re-execution; outputs stay bit-identical "
+                            "while budgets hold)")
         p.add_argument("--sanitize", action="store_true",
                        help="enable the invariant sanitizer (SC underflow, "
                             "frame double-free, DMA overlap, exactly-once "

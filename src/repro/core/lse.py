@@ -29,11 +29,17 @@ from __future__ import annotations
 
 import typing
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.cell.local_store import AllocationError, LocalStore, LSAllocator
 from repro.cell.mfc import DmaKind
 from repro.core.frame import Frame, pack_handle, unpack_handle
+from repro.faults.integrity import (
+    WORD_BITS,
+    DataCorruptionError,
+    store_corrected,
+    store_syndrome,
+)
 from repro.core.messages import (
     AllocFrame,
     FallocRequest,
@@ -134,10 +140,20 @@ class LSE(Component):
         self._falloc_seq = 0
         self._pending_falloc_rd: dict[int, None] = {}
         self._sanitizer = None  # optional Sanitizer
+        self._injector = None  # optional FaultInjector
+        # Data-fault recovery state: LS word address -> ECC-corrected
+        # value for frame words a corrupted StoreMsg committed (scrubbed
+        # at first read), plus the same for stores buffered in virtual
+        # frames (keyed (vaddr, slot); remapped when the frame binds).
+        self._poison: dict[int, int] = {}
+        self._virtual_poison: dict[tuple[int, int], int] = {}
+        #: Threads whose squash must wait for their in-flight DMA to drain.
+        self._squash_pending: set[int] = set()
         # Hub instruments (bound in _bind_metrics; None = observability off).
         self._m_transitions: dict[ThreadState, object] | None = None
         self._m_fallocs = None
         self._m_falloc_waits = None
+        self._m_reexecs = None
 
     def _bind_metrics(self, hub) -> None:
         self._m_transitions = {
@@ -146,12 +162,13 @@ class LSE(Component):
         }
         self._m_fallocs = hub.counter(f"lse{self.spe_id}.fallocs")
         self._m_falloc_waits = hub.counter(f"lse{self.spe_id}.falloc_waits")
+        self._m_reexecs = hub.counter(f"lse{self.spe_id}.reexecs")
 
     def _observe_transition(self, thread, old, new) -> None:
         self._m_transitions[new].add()
 
     def wire(self, bus, dse, spu, mfc, endpoint, machine,
-             sanitizer=None) -> None:
+             sanitizer=None, injector=None) -> None:
         self._bus = bus
         self._dse = dse
         self._spu = spu
@@ -159,6 +176,7 @@ class LSE(Component):
         self._endpoint = endpoint
         self._machine = machine
         self._sanitizer = sanitizer
+        self._injector = injector
 
     # -- queue plumbing -----------------------------------------------------
 
@@ -228,6 +246,15 @@ class LSE(Component):
         waiter = self._dma_waiters.pop(key, None)
         if waiter is not None:
             waiter()  # resume a DMAWAIT-blocked SPU
+        if (self._squash_pending and tid in self._squash_pending
+                and thread.state is ThreadState.WAIT_DMA
+                and not thread.pending_tags
+                and not any(k[0] == tid for k in self._dma_outstanding)):
+            # A corrupt transfer earlier in this thread's tag groups
+            # deferred its squash until the rest of its DMA drained.
+            self._squash_pending.discard(tid)
+            self._squash_thread(thread, cause="dma-transfer", restart_pf=True)
+            return
         if thread.state is ThreadState.WAIT_DMA and not thread.pending_tags:
             thread.transition(ThreadState.READY)
             self._make_ready(thread, resumed=True)
@@ -240,6 +267,144 @@ class LSE(Component):
         if key in self._dma_waiters:
             raise SchedulerError(f"{self.name}: duplicate DMAWAIT on {key}")
         self._dma_waiters[key] = resume
+
+    # -- data-fault recovery ----------------------------------------------------
+
+    def _corruption_error(self, kind: str, tid, detail: str,
+                          tag=None, command_id=None) -> DataCorruptionError:
+        stats = None
+        if self._injector is not None:
+            stats = asdict(self._injector.stats)
+        return DataCorruptionError(
+            kind=kind, site=self.name, spe_id=self.spe_id, tid=tid,
+            tag=tag, command_id=command_id, detail=detail, fault_stats=stats,
+        )
+
+    def transfer_corrupt(self, cmd) -> None:
+        """A GET transfer failed verification and its re-fetch budget is gone.
+
+        The MFC has cancelled the command; retire its tag-group slot
+        without resuming any waiter, then squash the owning thread for
+        re-execution — or raise :class:`DataCorruptionError` when the
+        thread can no longer be replayed safely.
+        """
+        tid, tag = cmd.tid, cmd.tag
+        key = (tid, tag)
+        left = self._dma_outstanding.get(key, 0) - 1
+        if left < 0:
+            raise SchedulerError(
+                f"{self.name}: corrupt-transfer underflow for thread {tid} "
+                f"tag {tag}"
+            )
+        if left:
+            self._dma_outstanding[key] = left
+        else:
+            self._dma_outstanding.pop(key, None)
+        thread = self.threads.get(tid)
+        if thread is None:
+            raise self._corruption_error(
+                "dma-transfer", tid, "owning thread has already finished",
+                tag=tag, command_id=cmd.command_id,
+            )
+        if not left:
+            thread.pending_tags.discard(tag)
+        if key in self._dma_waiters:
+            raise self._corruption_error(
+                "dma-transfer", tid,
+                "a DMAWAIT is already blocked on the corrupt tag group",
+                tag=tag, command_id=cmd.command_id,
+            )
+        if thread.side_effects:
+            raise self._corruption_error(
+                "dma-transfer", tid,
+                "thread has committed side effects and cannot be replayed",
+                tag=tag, command_id=cmd.command_id,
+            )
+        if thread.state is ThreadState.PROGRAM_DMA:
+            # The thread may still be live on the SPU mid-PF; squashing
+            # now would double-dispatch it.  thread_wait_dma (or the
+            # last dma_command_done) completes the squash.
+            self._squash_pending.add(tid)
+            return
+        if thread.state is not ThreadState.WAIT_DMA:
+            raise self._corruption_error(
+                "dma-transfer", tid,
+                f"thread in unreplayable state {thread.state.value}",
+                tag=tag, command_id=cmd.command_id,
+            )
+        if thread.pending_tags or any(
+            k[0] == tid for k in self._dma_outstanding
+        ):
+            self._squash_pending.add(tid)  # drain the rest first
+            return
+        self._squash_thread(thread, cause="dma-transfer", restart_pf=True)
+
+    def _squash_thread(self, thread: ThreadInstance, cause: str,
+                       restart_pf: bool) -> None:
+        """Re-enqueue a thread for re-execution, frame and SC intact.
+
+        ``restart_pf`` additionally frees the thread's prefetch buffers
+        and clears ``prefetch_done`` so the PF block (and its DMA) runs
+        again from scratch.
+        """
+        inj = self._injector
+        assert inj is not None
+        if thread.reexecs >= inj.plan.data_max_reexecs:
+            raise self._corruption_error(
+                cause, thread.tid,
+                f"re-execution budget exhausted after {thread.reexecs} "
+                f"attempt(s)",
+            )
+        thread.reexecs += 1
+        inj.stats.thread_reexecs += 1
+        if self._m_reexecs is not None:
+            self._m_reexecs.add()
+        if restart_pf:
+            for addr, size in thread.ls_buffers:
+                self.allocator.free(addr, size)
+            thread.ls_buffers.clear()
+            self._retry_lsallocs()
+            thread.prefetch_done = False
+        self._trace("thread-reexec", tid=thread.tid,
+                    attempt=thread.reexecs, cause=cause)
+        thread.transition(ThreadState.READY)
+        self._make_ready(thread, resumed=True)
+
+    def check_poisoned_load(self, thread: ThreadInstance, addr: int) -> bool:
+        """A LOAD is about to read LS word ``addr``.
+
+        Returns True when the SPU must abort the instruction because the
+        issuing thread was squashed for re-execution.  In every case the
+        poisoned word (and, on a squash, every other poisoned word of
+        the thread's frame) is scrubbed with its ECC-corrected value
+        first, so corrupted data is never consumed.
+        """
+        corrected = self._poison.pop(addr, None)
+        if corrected is None:
+            return False
+        inj = self._injector
+        assert inj is not None
+        self.ls.write_word(addr, corrected)
+        inj.stats.frame_scrubs += 1
+        self._trace("frame-scrub", tid=thread.tid, addr=addr)
+        if thread.side_effects or thread.pending_tags:
+            # The correction is trusted; with committed side effects (or
+            # DMA in flight) re-execution is the riskier path, so the
+            # thread continues on the scrubbed word.
+            return False
+        # Scrub the rest of the frame too: one squash per thread, even
+        # when several producer stores were corrupted.
+        if thread.frame_addr is not None:
+            base = thread.frame_addr
+            limit = base + 4 * self.config.frame_size_words
+            for a in [a for a in self._poison if base <= a < limit]:
+                self.ls.write_word(a, self._poison.pop(a))
+                inj.stats.frame_scrubs += 1
+        self._squash_thread(
+            thread, cause="frame-store",
+            restart_pf=not thread.prefetch_done,
+        )
+        return True
 
     # -- SPU dispatch interface -------------------------------------------------
 
@@ -259,6 +424,17 @@ class LSE(Component):
         :meth:`dma_command_done`.
         """
         thread.prefetch_done = True
+        if (self._squash_pending and thread.tid in self._squash_pending
+                and not thread.pending_tags
+                and not any(
+                    k[0] == thread.tid for k in self._dma_outstanding
+                )):
+            # A corrupt transfer arrived mid-PF and every other command
+            # has already drained: complete the deferred squash now that
+            # the pipeline is handing the thread back.
+            self._squash_pending.discard(thread.tid)
+            self._squash_thread(thread, cause="dma-transfer", restart_pf=True)
+            return True
         if thread.pending_tags:
             thread.transition(ThreadState.WAIT_DMA)
             return True
@@ -303,6 +479,8 @@ class LSE(Component):
         if thread.prefetch_done or not thread.program.has_prefetch:
             return False
         thread.transition(ThreadState.PROGRAM_DMA)
+        if self._sanitizer is not None:
+            self._sanitizer.thread_started(self.name, thread.tid)
         pf = thread.program.block(BlockKind.PF)
         # XP pipeline occupancy: one PF instruction per request_latency.
         delay = max(1, len(pf) * self.config.request_latency)
@@ -341,9 +519,15 @@ class LSE(Component):
         assert thread.frame_addr is not None
         for instr in pf:
             if instr.op is Op.LOAD:
-                regs[instr.rd] = self.ls.read_word(
-                    thread.frame_addr + 4 * instr.imm
-                )
+                la = thread.frame_addr + 4 * instr.imm
+                if self._poison and la in self._poison:
+                    # XP applies the PF block atomically with nothing
+                    # committed yet, so a poisoned word is simply
+                    # scrubbed in place before the read.
+                    self.ls.write_word(la, self._poison.pop(la))
+                    self._injector.stats.frame_scrubs += 1
+                    self._trace("frame-scrub", tid=thread.tid, addr=la)
+                regs[instr.rd] = self.ls.read_word(la)
             elif instr.op is Op.STOREF:
                 self.ls.write_word(
                     thread.frame_addr + 4 * instr.imm, val(instr.ra)
@@ -416,7 +600,25 @@ class LSE(Component):
     def _process_msg(self, msg: Message, now: int) -> None:
         self.stats.messages += 1
         if isinstance(msg, StoreMsg):
-            self._apply_local_store(msg.handle, msg.slot, msg.value, now)
+            # Verify the integrity code stamped when the store entered
+            # the bus.  A single-bit error is correctable: the raw value
+            # commits (modeling read-time-checked ECC memory) and the
+            # corrected word is recorded for scrubbing at first read.
+            corrected = None
+            inj = self._injector
+            if inj is not None and inj.plan.data_active:
+                syndrome = store_syndrome(msg.value, msg.check)
+                if syndrome:
+                    if not 1 <= syndrome <= WORD_BITS:
+                        raise self._corruption_error(
+                            "frame-store", None,
+                            f"uncorrectable store syndrome {syndrome:#x} "
+                            f"(handle {msg.handle:#x}, slot {msg.slot})",
+                        )
+                    corrected = store_corrected(msg.value, syndrome)
+            self._apply_local_store(
+                msg.handle, msg.slot, msg.value, now, corrected=corrected
+            )
         elif isinstance(msg, AllocFrame):
             self._do_alloc_frame(msg, now)
         elif isinstance(msg, FallocResponse):
@@ -535,7 +737,8 @@ class LSE(Component):
                 self._endpoint, target, StoreMsg(handle=handle, slot=slot, value=value)
             )
 
-    def _apply_local_store(self, handle: int, slot: int, value: int, now: int) -> None:
+    def _apply_local_store(self, handle: int, slot: int, value: int, now: int,
+                           corrected: int | None = None) -> None:
         pe, addr = unpack_handle(handle)
         if pe != self.spe_id:
             raise SchedulerError(
@@ -554,7 +757,13 @@ class LSE(Component):
                         f"{self.name}: store to stale virtual frame"
                     )
                 self._virtual_stores[addr][slot] = value
+                if corrected is not None:
+                    self._virtual_poison[(addr, slot)] = corrected
+                    self._injector.stats.frame_poisons += 1
+                    self._trace("data-fault", what="frame-poison",
+                                tid=thread.tid, slot=slot)
                 if self._sanitizer is not None:
+                    self._sanitizer.frame_store(self.name, thread.tid)
                     self._sanitizer.sc_decrement(self.name, thread.tid, thread.sc)
                 thread.count_store()
                 return
@@ -569,9 +778,15 @@ class LSE(Component):
                 f"{self.name}: store to slot {slot} beyond frame size"
             )
         self.ls.write_word(addr + 4 * slot, value)
+        if corrected is not None:
+            self._poison[addr + 4 * slot] = corrected
+            self._injector.stats.frame_poisons += 1
+            self._trace("data-fault", what="frame-poison",
+                        tid=thread.tid, slot=slot)
         self.ls.reserve_port(self.now)
         frame.writes += 1
         if self._sanitizer is not None:
+            self._sanitizer.frame_store(self.name, thread.tid)
             self._sanitizer.sc_decrement(self.name, thread.tid, thread.sc)
         if thread.count_store():
             thread.transition(ThreadState.READY)
@@ -610,6 +825,8 @@ class LSE(Component):
         self._retry_lsallocs()
         if thread.frame_addr is not None and not thread.frame_freed:
             self._release_frame(thread)
+        if self._sanitizer is not None:
+            self._sanitizer.thread_done(thread.tid)
         del self.threads[thread.tid]
         self._machine.thread_completed()
         self._trace("thread-done", tid=thread.tid,
@@ -618,6 +835,12 @@ class LSE(Component):
     def _release_frame(self, thread: ThreadInstance) -> None:
         assert thread.frame_addr is not None
         frame = self._frame_by_addr[thread.frame_addr]
+        if self._poison:
+            # Unread poison dies with the frame; it must not scrub a
+            # later tenant of the same LS region.
+            limit = frame.addr + 4 * self.config.frame_size_words
+            for a in [a for a in self._poison if frame.addr <= a < limit]:
+                del self._poison[a]
         if self._sanitizer is not None:
             self._sanitizer.frame_released(self.name, frame.addr)
         frame.release()
@@ -669,6 +892,12 @@ class LSE(Component):
         self._virtual_redirect[vaddr] = frame.addr
         for slot, value in pending.items():
             self.ls.write_word(frame.addr + 4 * slot, value)
+            if (vaddr, slot) in self._virtual_poison:
+                # The buffered store was corrupt: poison follows the
+                # word into the physical frame.
+                self._poison[frame.addr + 4 * slot] = (
+                    self._virtual_poison.pop((vaddr, slot))
+                )
         if thread.sc == 0:
             thread.transition(ThreadState.READY)
             self._make_ready(thread)

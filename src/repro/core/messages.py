@@ -92,6 +92,10 @@ class StoreMsg(Message):
     handle: int
     slot: int
     value: int
+    #: Integrity check code of ``value`` (repro.faults.integrity), stamped
+    #: when the message enters the bus under an active data-fault plan;
+    #: 0 (and unverified) otherwise.
+    check: int = 0
 
     @property
     def size_bytes(self) -> int:

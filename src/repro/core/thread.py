@@ -53,7 +53,10 @@ _TRANSITIONS: dict[ThreadState, frozenset[ThreadState]] = {
         {ThreadState.WAIT_DMA, ThreadState.EXECUTING, ThreadState.READY}
     ),
     ThreadState.WAIT_DMA: frozenset({ThreadState.READY}),
-    ThreadState.EXECUTING: frozenset({ThreadState.DONE}),
+    # EXECUTING -> READY is the data-fault recovery squash: a thread that
+    # read a poisoned frame word is pulled off the pipeline pre-commit
+    # and re-enqueued for re-execution (frame intact, SC preserved).
+    ThreadState.EXECUTING: frozenset({ThreadState.DONE, ThreadState.READY}),
     ThreadState.DONE: frozenset(),
 }
 
@@ -83,6 +86,13 @@ class ThreadInstance:
     prefetch_done: bool = False
     #: True once the LSE released this thread's frame (STOP or FFREE).
     frame_freed: bool = False
+    #: True once the thread has committed work visible outside its own
+    #: registers/LS buffers (PS stores, WRITEs, spawns, non-PF DMA) — a
+    #: thread with side effects can no longer be squashed for recovery.
+    side_effects: bool = False
+    #: Recovery re-executions performed on this thread (bounded by the
+    #: fault plan's ``data_max_reexecs``).
+    reexecs: int = 0
     #: Cycle bookkeeping (diagnostics only).
     created_at: int = 0
     ready_at: int | None = None

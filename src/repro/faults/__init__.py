@@ -11,18 +11,49 @@ duplicate deliveries (absorbed by idempotent delivery), and transient
 main-memory stalls.  A :class:`FaultInjector` turns the plan into
 per-site deterministic decision streams.
 
-The cardinal invariant: **faults change timing only, never architectural
-results**.  Every injected perturbation delays or repeats work; none may
-drop, corrupt or reorder a value in a way a race-free DTA program can
-observe.  Chaos tests (``tests/integration/test_faults.py``) assert
-bit-identical outputs against fault-free runs for every paper benchmark
-over a seed matrix.
+Fault kinds come in two families with different contracts:
+
+* **Timing faults** (``dma_delay``, ``dma_drop``, ``bus_delay``,
+  ``bus_dup``, ``mem_stall``) change timing only, never architectural
+  results.  Every perturbation delays or repeats work; none may drop,
+  corrupt or reorder a value in a way a race-free DTA program can
+  observe.
+* **Data faults** (``data_flip``, ``data_truncate``, ``data_ls_stale``,
+  ``data_store_corrupt``) *do* corrupt payloads — DMA chunk words,
+  chunk writes into the Local Store, frame-store messages on the bus.
+  Their contract is end-to-end tolerance instead of transparency: a
+  detection layer (per-transfer checksums at the MFC, frame-store check
+  codes at the LSE commit boundary; :mod:`repro.faults.integrity`)
+  catches every corruption, and a recovery layer (bounded transfer
+  re-fetch, frame-word scrubbing, thread-level squash-and-re-execute)
+  restores **bit-identical outputs** for recoverable plans.  When the
+  bounded recovery budget is exhausted the run fails loudly with a
+  structured :class:`DataCorruptionError` — never a silently wrong
+  answer.
+
+Chaos tests (``tests/integration/test_faults.py``) assert bit-identical
+outputs against fault-free runs for every paper benchmark over a seed
+matrix, for both families.
 
 See ``docs/FAULTS.md`` for the fault model, CLI flags and the
 determinism guarantee.
 """
 
 from repro.faults.injector import FaultInjector
+from repro.faults.integrity import (
+    DataCorruptionError,
+    checksum_words,
+    store_check,
+    store_syndrome,
+)
 from repro.faults.plan import FaultPlan, FaultPlanError
 
-__all__ = ["FaultPlan", "FaultPlanError", "FaultInjector"]
+__all__ = [
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultInjector",
+    "DataCorruptionError",
+    "checksum_words",
+    "store_check",
+    "store_syndrome",
+]

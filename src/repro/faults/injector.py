@@ -79,6 +79,54 @@ class FaultInjector:
         self.stats.bus_duplicates += 1
         return True
 
+    # -- data-fault sites ----------------------------------------------------
+    #
+    # Data faults draw from their own ``data:<site>`` streams, so adding
+    # (or re-seeding) a corrupting fault kind never shifts the timing
+    # kinds' sequences above — a timing-only plan stays bit-identical
+    # whether or not this code exists.  Each opportunity makes a *fixed*
+    # number of draws for the same reason.
+
+    def dma_chunk_corruption(self, site: str):
+        """Corruption of one delivered GET chunk, or ``None``.
+
+        Five draws per opportunity (three fire decisions plus word/bit
+        selectors), always; at most one fault kind fires per chunk, with
+        precedence stale > truncate > flip.  The return value feeds
+        :func:`repro.faults.integrity.corrupt_words`.
+        """
+        rng = self._rng(f"data:{site}")
+        plan = self.plan
+        stale = rng.random() < plan.data_ls_stale
+        truncate = rng.random() < plan.data_truncate
+        flip = rng.random() < plan.data_flip
+        u = rng.random()
+        v = rng.random()
+        if stale:
+            self.stats.data_stale_drops += 1
+            return ("stale", u, v)
+        if truncate:
+            self.stats.data_truncations += 1
+            return ("truncate", u, v)
+        if flip:
+            self.stats.data_flips += 1
+            return ("flip", u, v)
+        return None
+
+    def store_corruption(self) -> int | None:
+        """Bit to flip in one frame-store message, or ``None``.
+
+        Two draws per opportunity (fire decision plus bit selector) on
+        the ``data:bus`` stream.
+        """
+        rng = self._rng("data:bus")
+        fires = rng.random() < self.plan.data_store_corrupt
+        u = rng.random()
+        if not fires:
+            return None
+        self.stats.data_store_corruptions += 1
+        return min(int(u * 64), 63)
+
     # -- main-memory sites ---------------------------------------------------
 
     def mem_stall(self) -> int:

@@ -1,0 +1,176 @@
+"""Transfer checksums, frame-store check codes, and the corruption error.
+
+Data faults (:mod:`repro.faults.plan`, ``data_*`` keys) corrupt payloads,
+so — unlike the timing-only fault kinds — they need a detection layer:
+
+* :func:`checksum_words` — a Fletcher-style checksum over a word
+  sequence.  The MFC computes it over the transfer's source words in
+  main memory and again over the Local Store region once the last chunk
+  lands; a mismatch means the transfer delivered wrong bytes (flipped,
+  truncated, or stale) and triggers a bounded whole-transfer re-fetch.
+* :func:`store_check` — a 7-bit Hamming-style check code over one
+  machine word (signed 64-bit, the simulator's value domain), stamped
+  onto ``StoreMsg.check`` when the message enters the bus.  At the LSE
+  commit boundary the syndrome ``check ^ store_check(received)`` is
+  zero for a clean word, names the flipped bit position for a
+  single-bit error (so the corrected value can be recorded and later
+  scrubbed), and is out of range for anything worse.
+* :class:`DataCorruptionError` — the structured, loud failure for
+  corruption that recovery cannot absorb.  It names the site, thread,
+  tag and command and carries a plain-dict snapshot of the fault
+  counters, so it survives the multiprocessing pickle boundary intact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = [
+    "checksum_words",
+    "store_check",
+    "store_syndrome",
+    "store_corrected",
+    "flip_word_bit",
+    "corrupt_words",
+    "DataCorruptionError",
+]
+
+#: Machine words are signed 64-bit (repro.isa.semantics); integrity
+#: codes operate on the unsigned two's-complement representation.
+WORD_BITS = 64
+_MASK = (1 << WORD_BITS) - 1
+_MOD = 0xFFFF
+
+
+def _unsigned(value: int) -> int:
+    return value & _MASK
+
+
+def _signed(value: int) -> int:
+    value &= _MASK
+    return value - (1 << WORD_BITS) if value >> (WORD_BITS - 1) else value
+
+
+def checksum_words(words: Iterable[int]) -> int:
+    """Fletcher-style 32-bit checksum of a word sequence.
+
+    Order-sensitive (catches swapped words, not just flipped bits) and
+    cheap enough to run once per completed transfer.
+    """
+    s1 = 1
+    s2 = 0
+    for w in words:
+        w = _unsigned(w)
+        while w:
+            s1 = (s1 + (w & 0xFFFF)) % _MOD
+            s2 = (s2 + s1) % _MOD
+            w >>= 16
+        s2 = (s2 + s1) % _MOD
+    return (s2 << 16) | s1
+
+
+def store_check(value: int) -> int:
+    """Check code of one word: XOR of ``(i + 1)`` over set bits.
+
+    A single flipped bit ``i`` changes the code by exactly ``i + 1``, so
+    the syndrome of a one-bit error identifies the bit to correct.
+    """
+    code = 0
+    v = _unsigned(value)
+    i = 0
+    while v:
+        if v & 1:
+            code ^= i + 1
+        v >>= 1
+        i += 1
+    return code
+
+
+def store_syndrome(value: int, check: int) -> int:
+    """Syndrome of a received value against its stamped check code.
+
+    0 = clean; 1..64 = bit ``syndrome - 1`` flipped (correctable);
+    anything else = uncorrectable multi-bit damage.
+    """
+    return check ^ store_check(value)
+
+
+def store_corrected(value: int, syndrome: int) -> int:
+    """The corrected word for a correctable (single-bit) syndrome."""
+    return _signed(_unsigned(value) ^ (1 << (syndrome - 1)))
+
+
+def flip_word_bit(value: int, bit: int) -> int:
+    """``value`` with one bit of its unsigned representation flipped,
+    re-wrapped to the machine's signed word domain."""
+    return _signed(_unsigned(value) ^ (1 << bit))
+
+
+def corrupt_words(words: Sequence[int], fault) -> "list[int] | None":
+    """Apply one injector corruption descriptor to a chunk's words.
+
+    Returns the (possibly shorter) word list to write, or ``None`` for a
+    stale fault (no write at all).  Pure, so the MFC and tests share one
+    definition of what each fault kind does to a payload.
+    """
+    kind, u, v = fault
+    if kind == "stale":
+        return None
+    if kind == "truncate":
+        return list(words[: len(words) // 2])
+    # kind == "flip": one bit of one word.
+    out = list(words)
+    if out:
+        idx = min(int(u * len(out)), len(out) - 1)
+        bit = min(int(v * WORD_BITS), WORD_BITS - 1)
+        out[idx] = flip_word_bit(out[idx], bit)
+    return out
+
+
+class DataCorruptionError(RuntimeError):
+    """Unrecoverable data corruption: detection worked, recovery could not.
+
+    Raised instead of ever letting a wrong word reach committed state
+    silently — the run fails loudly, naming the corrupted transfer (or
+    frame store), its DMA tag, thread and SPE, with a snapshot of the
+    machine's fault counters attached for post-mortem triage.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        site: str,
+        spe_id: int | None = None,
+        tid: int | None = None,
+        tag: int | None = None,
+        command_id: int | None = None,
+        detail: str = "",
+        fault_stats: dict | None = None,
+    ) -> None:
+        self.kind = kind
+        self.site = site
+        self.spe_id = spe_id
+        self.tid = tid
+        self.tag = tag
+        self.command_id = command_id
+        self.detail = detail
+        self.fault_stats = fault_stats
+        where = site if spe_id is None else f"{site} (SPE {spe_id})"
+        parts = [f"unrecoverable data corruption [{kind}] at {where}"]
+        if tid is not None:
+            parts.append(f"thread {tid}")
+        if tag is not None:
+            parts.append(f"DMA tag {tag}")
+        if command_id is not None:
+            parts.append(f"command {command_id}")
+        message = ", ".join(parts)
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.kind, self.site, self.spe_id, self.tid, self.tag,
+             self.command_id, self.detail, self.fault_stats),
+        )

@@ -25,8 +25,16 @@ class FaultPlanError(ValueError):
     """A malformed fault specification string or field value."""
 
 
+#: Data-fault probability fields (corrupting — covered by detection and
+#: recovery machinery, unlike the timing-only kinds above them).
+_DATA_PROB_FIELDS = (
+    "data_flip", "data_truncate", "data_ls_stale", "data_store_corrupt",
+)
+
 #: Fields holding probabilities (validated to [0, 1]).
-_PROB_FIELDS = ("dma_delay", "dma_drop", "bus_delay", "bus_dup", "mem_stall")
+_PROB_FIELDS = (
+    "dma_delay", "dma_drop", "bus_delay", "bus_dup", "mem_stall",
+) + _DATA_PROB_FIELDS
 
 
 @dataclass(frozen=True)
@@ -69,6 +77,21 @@ class FaultPlan:
     #: Extra latency cycles for a stalled request.
     mem_stall_cycles: int = 60
 
+    # -- data faults (corrupting; detected and recovered) --------------------
+    #: Probability one word of a delivered GET chunk has a bit flipped.
+    data_flip: float = 0.0
+    #: Probability a delivered GET chunk's LS write is truncated.
+    data_truncate: float = 0.0
+    #: Probability a delivered GET chunk's LS write is dropped entirely,
+    #: so the thread would read stale Local Store contents.
+    data_ls_stale: float = 0.0
+    #: Probability a frame-store message has a bit flipped on the bus.
+    data_store_corrupt: float = 0.0
+    #: Bounded whole-transfer re-fetches after a checksum mismatch.
+    data_max_refetches: int = 3
+    #: Bounded thread re-executions before corruption is unrecoverable.
+    data_max_reexecs: int = 2
+
     def __post_init__(self) -> None:
         for name in _PROB_FIELDS:
             p = getattr(self, name)
@@ -90,11 +113,23 @@ class FaultPlan:
             raise FaultPlanError(
                 f"dma_backoff must be >= 1 cycle, got {self.dma_backoff}"
             )
+        for name in ("data_max_refetches", "data_max_reexecs"):
+            if getattr(self, name) < 0:
+                raise FaultPlanError(
+                    f"{name} must be >= 0, got {getattr(self, name)}"
+                )
 
     @property
     def active(self) -> bool:
         """True when any fault can actually fire."""
         return any(getattr(self, name) > 0.0 for name in _PROB_FIELDS)
+
+    @property
+    def data_active(self) -> bool:
+        """True when any *corrupting* fault can fire — gates the
+        detection/recovery machinery so timing-only plans keep the exact
+        pre-data-fault code paths (and their bit-identical timing)."""
+        return any(getattr(self, name) > 0.0 for name in _DATA_PROB_FIELDS)
 
     def backoff_cycles(self, attempt: int) -> int:
         """Exponential backoff before re-issuing a failed chunk."""

@@ -37,6 +37,9 @@ PROFILE_KINDS = frozenset(
         "dma-command",
         "dma-tag-done",
         "bus-grant",
+        # Data-fault recovery markers (point events, not intervals).
+        "thread-reexec",
+        "dma-reverify",
     }
 )
 
@@ -78,6 +81,9 @@ class IntervalSink(TraceSink):
         self.bus: dict[int, list[Interval]] = {}
         self._open_pipe: dict[str, Interval] = {}
         self._open_dma: dict[tuple[int, int], Interval] = {}
+        #: Point-in-time recovery markers (thread re-executions, DMA
+        #: re-fetch verifications), in stream order.
+        self.marks: list[dict] = []
         self.finished = False
 
     # -- sink interface -----------------------------------------------------
@@ -132,6 +138,11 @@ class IntervalSink(TraceSink):
                     size=fields.get("bytes", 0),
                 )
             )
+        elif kind in ("thread-reexec", "dma-reverify"):
+            self.marks.append(
+                {"cycle": event.cycle, "source": event.source,
+                 "kind": kind, **event.fields}
+            )
 
     def finish(self, total_cycles: int) -> None:
         """Close intervals still open when the run ended."""
@@ -179,6 +190,7 @@ class IntervalSink(TraceSink):
                 str(ch): [iv.to_dict() for iv in ivs]
                 for ch, ivs in sorted(self.bus.items())
             },
+            "marks": list(self.marks),
         }
 
 

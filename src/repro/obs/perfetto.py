@@ -11,6 +11,9 @@ both ``chrome://tracing`` and https://ui.perfetto.dev load directly:
   row may overlap;
 * process 3, one thread row per bus channel — occupancy windows.
 
+Data-fault recovery markers (``thread-reexec`` / ``dma-reverify``)
+appear as instant events on the owning SPE's pipeline row.
+
 Timestamps are simulated cycles reported as microseconds (1 cycle =
 1 us) — Perfetto needs *some* time unit and cycles are the honest one.
 Open a prefetch-enabled trace and the paper's non-blocking execution is
@@ -124,6 +127,31 @@ def to_perfetto(profile: "Profile") -> dict:
             }
             events.append({"ph": "B", "ts": iv["start"], **common})
             events.append({"ph": "E", "ts": iv["end"], **common})
+
+    for mark in intervals.get("marks", []):
+        # Recovery markers (thread re-executions, DMA re-fetches) as
+        # instant events on the owning SPE's pipeline row, so they line
+        # up with the run/PF bars they interrupted.
+        tid = _trailing_int(mark.get("source", ""))
+        if mark["kind"] == "thread-reexec":
+            name = (f"re-exec tid {mark.get('tid')} "
+                    f"(attempt {mark.get('attempt')})")
+        else:
+            name = (f"re-fetch cmd {mark.get('command')} "
+                    f"tag {mark.get('tag')}")
+        events.append({
+            "ph": "i",
+            "ts": mark["cycle"],
+            "s": "t",
+            "name": name,
+            "cat": "recovery," + mark["kind"],
+            "pid": _PID_SPU,
+            "tid": tid,
+            "args": {
+                k: v for k, v in mark.items()
+                if k not in ("cycle", "source", "kind")
+            },
+        })
 
     events.sort(key=lambda e: (e["ts"], _PHASE_ORDER.get(e["ph"], 9)))
     return {

@@ -12,7 +12,11 @@ invariants the DTA protocol relies on:
   on the same SPE;
 * every bus transfer is delivered to its endpoint exactly once (the
   fault injector may *duplicate* transfers — the bus must absorb the
-  duplicates before they reach an endpoint).
+  duplicates before they reach an endpoint);
+* a producer store (PS) never writes a frame word of a thread that has
+  already started executing — the data-fault recovery squash preserves
+  SC bookkeeping, so a late store would silently corrupt a re-executing
+  thread's inputs.
 
 It is opt-in (``MachineConfig.sanitize`` / ``repro ... --sanitize``)
 because the shadow state costs memory and every hook costs time.  A
@@ -39,6 +43,9 @@ class Sanitizer:
         self._dma: dict[str, dict[int, tuple[int, int]]] = {}
         #: bus-transfer sequence numbers already delivered.
         self._delivered: set[int] = set()
+        #: tids that have started executing (PF or EX) and not yet
+        #: stopped; their frames must receive no further producer stores.
+        self._started: set[int] = set()
         #: Total hook invocations (lets tests assert the sanitizer ran).
         self.checks = 0
 
@@ -96,6 +103,32 @@ class Sanitizer:
     def dma_write_end(self, site: str, command_id: int) -> None:
         self.checks += 1
         self._dma.setdefault(site, {}).pop(command_id, None)
+
+    # -- thread execution vs frame stores -----------------------------------
+
+    def thread_started(self, site: str, tid: int) -> None:
+        """Thread ``tid`` was dispatched (SPU pipeline or XP offload).
+
+        Idempotent: a squashed-and-re-executed thread registers again.
+        The tid intentionally stays registered across a recovery squash —
+        the squash preserves SC bookkeeping, so no producer store may
+        legally arrive even while the thread waits to re-execute.
+        """
+        self.checks += 1
+        self._started.add(tid)
+
+    def frame_store(self, site: str, tid: int) -> None:
+        """A producer store is about to commit into ``tid``'s frame."""
+        self.checks += 1
+        if tid in self._started:
+            raise InvariantViolation(
+                f"{site}: PS store into the frame of thread {tid}, "
+                f"which has already started executing"
+            )
+
+    def thread_done(self, tid: int) -> None:
+        self.checks += 1
+        self._started.discard(tid)
 
     # -- bus delivery -------------------------------------------------------
 

@@ -280,18 +280,67 @@ class FaultStats:
     #: Main-memory requests stalled, and the cycles added.
     mem_stalls: int = 0
     mem_stall_cycles: int = 0
+    #: Data faults injected: GET chunk words bit-flipped, chunk writes
+    #: truncated, chunk writes dropped (stale LS), frame-store messages
+    #: corrupted on the bus.
+    data_flips: int = 0
+    data_truncations: int = 0
+    data_stale_drops: int = 0
+    data_store_corruptions: int = 0
+    #: Detection/recovery: transfer checksum mismatches, whole-transfer
+    #: re-fetches, frame words poisoned at the commit boundary, poisoned
+    #: words scrubbed at read time, and thread-level re-executions.
+    dma_verify_failures: int = 0
+    dma_refetches: int = 0
+    frame_poisons: int = 0
+    frame_scrubs: int = 0
+    thread_reexecs: int = 0
 
     @property
     def any_fired(self) -> bool:
         return any(
             getattr(self, f) > 0
             for f in ("dma_delays", "dma_drops", "bus_delays",
-                      "bus_duplicates", "mem_stalls")
+                      "bus_duplicates", "mem_stalls", "data_flips",
+                      "data_truncations", "data_stale_drops",
+                      "data_store_corruptions")
         )
+
+    @property
+    def any_data_fired(self) -> bool:
+        """True when any corrupting fault actually fired."""
+        return any(
+            getattr(self, f) > 0
+            for f in ("data_flips", "data_truncations", "data_stale_drops",
+                      "data_store_corruptions")
+        )
+
+    @property
+    def any_recovered(self) -> bool:
+        """True when detection/recovery machinery actually acted."""
+        return any(
+            getattr(self, f) > 0
+            for f in ("dma_refetches", "frame_scrubs", "thread_reexecs")
+        )
+
+    def recovery_counters(self) -> dict:
+        """The data-fault/recovery counter block as a plain dict —
+        embedded in degraded manifests, journal entries and exports."""
+        return {
+            "data_flips": self.data_flips,
+            "data_truncations": self.data_truncations,
+            "data_stale_drops": self.data_stale_drops,
+            "data_store_corruptions": self.data_store_corruptions,
+            "dma_verify_failures": self.dma_verify_failures,
+            "dma_refetches": self.dma_refetches,
+            "frame_poisons": self.frame_poisons,
+            "frame_scrubs": self.frame_scrubs,
+            "thread_reexecs": self.thread_reexecs,
+        }
 
     def summary(self) -> str:
         """One-line counter rendering for reports."""
-        return (
+        line = (
             f"dma: {self.dma_delays} delayed / {self.dma_drops} dropped / "
             f"{self.dma_retries} retried / {self.dma_fallbacks} fell back "
             f"({self.dma_backoff_cycles} backoff cycles); "
@@ -300,6 +349,17 @@ class FaultStats:
             f"memory: {self.mem_stalls} stalled "
             f"(+{self.mem_stall_cycles} cycles)"
         )
+        if self.any_data_fired or self.any_recovered:
+            line += (
+                f"; data: {self.data_flips} flipped / "
+                f"{self.data_truncations} truncated / "
+                f"{self.data_stale_drops} stale / "
+                f"{self.data_store_corruptions} store-corrupt — recovered "
+                f"via {self.dma_refetches} re-fetches / "
+                f"{self.frame_scrubs} scrubs / "
+                f"{self.thread_reexecs} re-executions"
+            )
+        return line
 
 
 @dataclass

@@ -102,7 +102,7 @@ class TestStateMachine:
         [
             (ThreadState.WAIT_STORES, ThreadState.EXECUTING),
             (ThreadState.READY, ThreadState.DONE),
-            (ThreadState.EXECUTING, ThreadState.READY),
+            (ThreadState.EXECUTING, ThreadState.WAIT_DMA),
             (ThreadState.DONE, ThreadState.READY),
             (ThreadState.WAIT_DMA, ThreadState.EXECUTING),
         ],
@@ -112,6 +112,13 @@ class TestStateMachine:
         t.state = src
         with pytest.raises(LifecycleError):
             t.transition(dst)
+
+    def test_recovery_squash_transition(self):
+        # EXECUTING -> READY is the data-fault re-execution squash.
+        t = make_thread()
+        t.state = ThreadState.EXECUTING
+        t.transition(ThreadState.READY)
+        assert t.runnable
 
     def test_runnable_property(self):
         t = make_thread(sc=0)

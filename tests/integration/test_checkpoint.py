@@ -28,11 +28,18 @@ BENCHMARKS = ("bitcnt", "mmul", "zoom")
 
 CHAOS = "dma_delay=0.1,dma_drop=0.1,bus_delay=0.1,bus_dup=0.1,mem_stall=0.1"
 
+#: Corrupting faults with recovery — checkpoints must capture poison
+#: tables, deferred squashes and re-fetch state mid-recovery.
+DATA = ("data_flip=0.3,data_truncate=0.15,data_ls_stale=0.15,"
+        "data_store_corrupt=0.1")
+
 
 def _config(mode: str, seed: int = 1):
     cfg = small_config(2)
     if mode == "chaos":
         cfg = cfg.with_faults(f"seed={seed},{CHAOS}")
+    elif mode == "data":
+        cfg = cfg.with_faults(f"seed={seed},{DATA}")
     elif mode == "sanitize":
         cfg = cfg.replace(sanitize=True)
     return cfg
@@ -104,6 +111,13 @@ class TestBitIdentityMatrix:
     @pytest.mark.parametrize("seed", (1, 2, 3))
     def test_roundtrip_under_chaos(self, bench, seed, tmp_path):
         _roundtrip(bench, "chaos", tmp_path, seed=seed)
+
+    @pytest.mark.parametrize("bench", BENCHMARKS)
+    def test_roundtrip_under_data_faults(self, bench, tmp_path):
+        # Corruption + recovery in flight: snapshots taken while poison
+        # tables / re-fetches / squashes are live must restore and
+        # finish bit-identically to the uninterrupted faulted run.
+        _roundtrip(bench, "data", tmp_path, seed=1)
 
 
 def _heap_callbacks(machine, kind):
@@ -192,6 +206,30 @@ class TestAdversarialCycles:
             wl, cfg, tmp_path, pending_duplicate,
             "an injected duplicate bus delivery",
         )
+
+    def test_mid_data_fault_recovery(self, tmp_path):
+        # Checkpoint while a data-fault recovery is pending: a poisoned
+        # frame word awaiting its scrub-or-squash LOAD, or a deferred
+        # thread squash waiting for outstanding DMA to drain.  The
+        # restored machine must carry that recovery state and converge
+        # to the same (clean) outputs.
+        def pending_recovery(m):
+            return any(
+                spe.lse._poison or spe.lse._virtual_poison
+                or spe.lse._squash_pending
+                for spe in m.spes
+            )
+
+        wl = builders("test")["mmul"]()
+        cfg = small_config(2).with_faults(f"seed=1,{DATA}")
+        machine = _adversarial_roundtrip(
+            wl, cfg, tmp_path, pending_recovery,
+            "a pending data-fault recovery",
+        )
+        # The run actually recovered (not just poisoned-and-never-read).
+        result = machine.run()
+        faults = result.stats.faults
+        assert faults.frame_scrubs + faults.thread_reexecs > 0
 
     def test_mid_fast_forward_window(self, tmp_path):
         # A fast-forwarding SPU parks its tick far in the future.  A

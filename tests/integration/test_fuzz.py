@@ -4,7 +4,9 @@ For each random activity the final main memory must agree between
 
 * the cycle simulator and the functional golden model,
 * the baseline and its prefetch-transformed version,
-* machines of different widths, latencies and cache configurations.
+* machines of different widths, latencies and cache configurations,
+* clean machines and machines under recoverable data-fault plans
+  (corruption detected and repaired by re-fetch / re-execution).
 """
 
 from __future__ import annotations
@@ -71,6 +73,38 @@ def test_fuzz_prefetch_transform_preserves_semantics(seed, threshold):
     assert memory_of(activity, cfg) == memory_of(transformed, cfg), (
         f"seed {seed}: the prefetch pass changed results"
     )
+
+
+#: Recoverable corruption, every kind at once, default budgets.  High
+#: probabilities because random programs are short: few transfers, few
+#: producer stores.
+_DATA_FAULTS = ("data_flip=0.25,data_truncate=0.1,data_ls_stale=0.1,"
+                "data_store_corrupt=0.1")
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    fault_seed=st.sampled_from([1, 2, 3]),
+)
+def test_fuzz_recoverable_data_faults_match_golden_model(seed, fault_seed):
+    # The data-fault recovery guarantee, differentially: random programs
+    # under a recoverable corruption plan must still agree with the
+    # functional golden model bit-for-bit.  The prefetch-transformed
+    # variant exercises the checksummed DMA path; untransformed PS
+    # stores exercise the per-store check codes.
+    activity = random_activity(seed)
+    golden = run_functional(activity)
+    transformed = prefetch_transform(activity)
+    cfg = small_config(num_spes=2).with_faults(
+        f"seed={fault_seed},{_DATA_FAULTS}"
+    )
+    sim = memory_of(transformed, cfg)
+    for obj in activity.globals:
+        assert sim[obj.name] == golden.read_global(obj.name), (
+            f"seed {seed}/{fault_seed}: {obj.name} diverged under "
+            f"recoverable data faults"
+        )
 
 
 @settings(max_examples=12, deadline=None)

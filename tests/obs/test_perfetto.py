@@ -67,6 +67,45 @@ class TestMmul8Acceptance:
         assert busy_spus == set(range(8))
 
 
+class TestRecoveryMarkers:
+    def test_data_fault_recovery_appears_as_instant_events(self):
+        # A data-faulted run emits thread-reexec / dma-reverify trace
+        # events; the exporter must surface them as instant markers on
+        # the owning SPE's pipeline row, and the document must still
+        # validate.
+        from repro.bench.scale import builders
+        from repro.obs import profile_workload
+        from repro.sim.config import paper_config
+
+        workload = builders("test")["bitcnt"]()
+        cfg = paper_config(2).with_faults(
+            "seed=1,data_flip=0.3,data_truncate=0.15,data_ls_stale=0.15,"
+            "data_store_corrupt=0.1"
+        )
+        result, profile = profile_workload(workload, cfg, prefetch=True)
+        assert result.stats.faults.any_recovered
+        doc = to_perfetto(profile)
+        assert validate_trace_events(doc) == []
+        marks = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert marks, "expected recovery instant events"
+        cats = {e["cat"] for e in marks}
+        assert any(c.startswith("recovery,") for c in cats)
+        if result.stats.faults.thread_reexecs:
+            assert any(
+                e["cat"] == "recovery,thread-reexec" and e["pid"] == 1
+                for e in marks
+            )
+        if result.stats.faults.dma_refetches:
+            assert any(
+                e["cat"] == "recovery,dma-reverify" for e in marks
+            )
+
+    def test_clean_runs_emit_no_recovery_markers(self, bitcnt_profiled):
+        _, profile = bitcnt_profiled
+        doc = to_perfetto(profile)
+        assert not [e for e in doc["traceEvents"] if e["ph"] == "i"]
+
+
 class TestValidator:
     def test_rejects_unbalanced_begin(self):
         doc = {"traceEvents": [

@@ -70,6 +70,38 @@ class TestDmaOverlap:
         s.dma_write_begin("mfc1", 1, 0x1000, 64)
 
 
+class TestStartedThreadFrameStores:
+    def test_store_before_start_passes(self):
+        Sanitizer().frame_store("lse0", tid=4)
+
+    def test_store_after_start_raises(self):
+        s = Sanitizer()
+        s.thread_started("spu0", tid=4)
+        with pytest.raises(InvariantViolation, match="already started"):
+            s.frame_store("lse0", tid=4)
+
+    def test_registration_is_idempotent_across_reexecution(self):
+        # A squashed thread re-dispatches and registers again; the tid
+        # must stay protected the whole time (SC bookkeeping survives
+        # the squash, so no legal producer store can arrive in between).
+        s = Sanitizer()
+        s.thread_started("spu0", tid=4)
+        s.thread_started("spu0", tid=4)  # re-dispatch after squash
+        with pytest.raises(InvariantViolation, match="thread 4"):
+            s.frame_store("lse0", tid=4)
+
+    def test_done_clears_registration(self):
+        s = Sanitizer()
+        s.thread_started("spu0", tid=4)
+        s.thread_done(4)
+        s.frame_store("lse0", tid=4)  # a recycled tid starts fresh
+
+    def test_other_tids_unaffected(self):
+        s = Sanitizer()
+        s.thread_started("spu0", tid=4)
+        s.frame_store("lse0", tid=5)
+
+
 class TestExactlyOnceDelivery:
     def test_distinct_seqs_pass(self):
         s = Sanitizer()
@@ -120,3 +152,18 @@ class TestMachineWiring:
             result.stats.faults.bus_duplicates_absorbed
             == result.stats.faults.bus_duplicates
         )
+
+    def test_data_fault_recovery_holds_under_sanitizer(self):
+        # Thread re-execution keeps SC bookkeeping intact: a full run
+        # with corrupting faults, recovery and the started-thread
+        # invariant enabled must finish clean with correct outputs.
+        wl = builders("test")["mmul"]()
+        cfg = (
+            MachineConfig()
+            .with_faults("seed=1,data_flip=0.3,data_truncate=0.15,"
+                         "data_ls_stale=0.15,data_store_corrupt=0.1")
+            .replace(sanitize=True)
+        )
+        result = run_workload(wl, cfg, prefetch=True)
+        assert result.stats.faults.any_data_fired
+        assert result.stats.faults.any_recovered
