@@ -38,10 +38,46 @@ from repro.compiler.passes import PrefetchOptions
 from repro.sim.config import MachineConfig
 from repro.workloads.common import Workload
 
-__all__ = ["ResultCache", "default_cache", "result_key", "code_stamp"]
+__all__ = [
+    "ResultCache",
+    "default_cache",
+    "default_max_bytes",
+    "result_key",
+    "code_stamp",
+    "parse_bytes",
+]
 
 #: ``REPRO_BENCH_CACHE`` values that disable the default cache.
 _OFF_VALUES = {"off", "none", "0", "no", "false"}
+
+#: Multipliers for the ``k``/``m``/``g`` suffixes of :func:`parse_bytes`.
+_BYTE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def parse_bytes(text: "str | int | None") -> "int | None":
+    """Parse a byte-size spec: a plain integer or ``<n>k``/``m``/``g``.
+
+    Returns ``None`` for ``None``/empty input and raises ``ValueError``
+    on garbage — callers (CLI, env parsing) decide how loudly to fail.
+    """
+    if text is None:
+        return None
+    if isinstance(text, int):
+        return text if text > 0 else None
+    spec = text.strip().lower()
+    if not spec:
+        return None
+    factor = 1
+    if spec[-1] in _BYTE_SUFFIXES:
+        factor = _BYTE_SUFFIXES[spec[-1]]
+        spec = spec[:-1]
+    try:
+        value = int(float(spec) * factor)
+    except ValueError:
+        raise ValueError(
+            f"bad byte size {text!r} (expected e.g. 1048576, 512k, 64m, 2g)"
+        )
+    return value if value > 0 else None
 
 
 @functools.lru_cache(maxsize=1)
@@ -102,8 +138,16 @@ class ResultCache:
     runnable experiment into an error.
     """
 
-    def __init__(self, root: "str | os.PathLike[str]") -> None:
+    def __init__(
+        self,
+        root: "str | os.PathLike[str]",
+        max_bytes: "int | None" = None,
+    ) -> None:
         self.root = Path(root)
+        #: Size budget in bytes; ``None`` = unbounded.  When a store
+        #: pushes the cache over budget, least-recently-*used* entries
+        #: (by mtime — hits touch their file) are evicted first.
+        self.max_bytes = max_bytes
         #: Entries served from disk.
         self.hits = 0
         #: Lookups that fell through to simulation.
@@ -112,6 +156,8 @@ class ResultCache:
         self.stores = 0
         #: Corrupt/stale entries quarantined to ``<key>.corrupt``.
         self.corrupt = 0
+        #: Entries removed by the LRU size budget.
+        self.evicted = 0
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
@@ -157,6 +203,12 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            # Touch on hit: mtime is the LRU clock of the size budget, so
+            # a served entry must count as recently used.
+            os.utime(self._path(key))
+        except OSError:
+            pass
         return result
 
     def put(self, key: str, result: RunResult) -> None:
@@ -174,6 +226,56 @@ class ResultCache:
         except OSError:
             return
         self.stores += 1
+        if self.max_bytes is not None:
+            self.trim(self.max_bytes)
+
+    def disk_usage(self) -> "tuple[int, int]":
+        """``(entries, bytes)`` currently on disk (live entries only)."""
+        entries = 0
+        total = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.pkl"):
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        return entries, total
+
+    def trim(self, max_bytes: "int | None" = None) -> int:
+        """Evict least-recently-used entries until under ``max_bytes``.
+
+        ``max_bytes`` defaults to the cache's own budget; with neither
+        set this is a no-op.  Returns the number of entries evicted
+        (also accumulated in ``evicted``).  Eviction is best-effort: a
+        file that cannot be stat'ed or unlinked is simply skipped — the
+        budget is advisory, correctness never depends on it.
+        """
+        budget = self.max_bytes if max_bytes is None else max_bytes
+        if budget is None or not self.root.is_dir():
+            return 0
+        entries = []
+        total = 0
+        for path in self.root.glob("*.pkl"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, path))
+            total += st.st_size
+        entries.sort()  # oldest mtime first = least recently used
+        removed = 0
+        for mtime, size, path in entries:
+            if total <= budget:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        self.evicted += removed
+        return removed
 
     def clear(self) -> int:
         """Delete every entry (including quarantined ones); returns the
@@ -201,6 +303,8 @@ class ResultCache:
         )
         if self.corrupt:
             text += f", {self.corrupt} corrupt entr(ies) quarantined"
+        if self.evicted:
+            text += f", {self.evicted} entr(ies) evicted by the size budget"
         return text
 
     def __len__(self) -> int:
@@ -216,18 +320,31 @@ class ResultCache:
         )
 
 
+def default_max_bytes() -> "int | None":
+    """Cache size budget from ``REPRO_BENCH_CACHE_MAX_BYTES`` (off when
+    unset/unparseable; accepts ``k``/``m``/``g`` suffixes)."""
+    raw = os.environ.get("REPRO_BENCH_CACHE_MAX_BYTES")
+    try:
+        return parse_bytes(raw)
+    except ValueError:
+        return None
+
+
 def default_cache() -> ResultCache | None:
     """The cache selected by the environment, or ``None`` when disabled.
 
     ``REPRO_BENCH_CACHE`` may name a directory or one of
     ``off``/``none``/``0`` to disable caching; unset, the cache lives at
     ``$XDG_CACHE_HOME/repro-bench`` (``~/.cache/repro-bench``).
+    ``REPRO_BENCH_CACHE_MAX_BYTES`` (e.g. ``512m``) bounds its size with
+    LRU eviction — essential for long-lived servers (see repro.serve).
     """
+    max_bytes = default_max_bytes()
     env = os.environ.get("REPRO_BENCH_CACHE")
     if env is not None:
         if env.strip().lower() in _OFF_VALUES or not env.strip():
             return None
-        return ResultCache(env)
+        return ResultCache(env, max_bytes=max_bytes)
     xdg = os.environ.get("XDG_CACHE_HOME")
     base = Path(xdg) if xdg else Path.home() / ".cache"
-    return ResultCache(base / "repro-bench")
+    return ResultCache(base / "repro-bench", max_bytes=max_bytes)

@@ -22,6 +22,7 @@ from repro.sim.config import latency1_config, paper_config
 from repro.sim.stats import Bucket
 
 __all__ = [
+    "SCHEMA_VERSION",
     "run_to_dict",
     "pair_to_dict",
     "scaling_to_dict",
@@ -29,6 +30,14 @@ __all__ = [
     "reproduce_all",
     "to_json",
 ]
+
+#: Version of every machine-readable payload this module (and the
+#: :mod:`repro.serve` gateway, which re-exports it) emits.  Bump it on
+#: ANY change to the shape, keys or units of :func:`run_to_dict` /
+#: :func:`pair_to_dict` / :func:`scaling_to_dict` output — consumers
+#: pin against it, and the serving protocol echoes it so clients can
+#: reject payloads they do not understand.  See docs/SERVING.md.
+SCHEMA_VERSION = 1
 
 
 def run_to_dict(run: RunResult, profile=None) -> dict:
@@ -40,6 +49,7 @@ def run_to_dict(run: RunResult, profile=None) -> dict:
     """
     mix = run.stats.mix.table5_row()
     out = {
+        "schema_version": SCHEMA_VERSION,
         "activity": run.activity,
         "prefetch": run.prefetch,
         "cycles": run.cycles,
@@ -195,7 +205,12 @@ def reproduce_all(
 
     scale = scale or current_scale()
     axis = tuple(spes or spe_counts())
-    result: dict = {"scale": scale, "spes": list(axis), "experiments": {}}
+    result: dict = {
+        "schema_version": SCHEMA_VERSION,
+        "scale": scale,
+        "spes": list(axis),
+        "experiments": {},
+    }
     if plan is not None:
         result["faults"] = plan.describe()
 

@@ -43,9 +43,10 @@ layers three defenses over plain fan-out:
 
 Completed tasks are checkpointed incrementally: results land in the
 cache *and* an append-only :class:`~repro.bench.journal.SweepJournal`
-the moment they finish, so a batch killed mid-flight — Ctrl-C, OOM, a
-rebooted runner — can be resumed (``resume=True``) without re-simulating
-settled work.  ``keep_going=True`` turns task failures from a raised
+the moment they finish, so a batch killed mid-flight — Ctrl-C, SIGTERM
+(a containerized drain; handled identically, see
+:class:`SweepTerminated`), OOM, a rebooted runner — can be resumed
+(``resume=True``) without re-simulating settled work.  ``keep_going=True`` turns task failures from a raised
 :class:`TaskFailure` into ``None`` slots in the returned list, letting
 callers emit partial artifacts (see
 :func:`repro.bench.export.reproduce_all`).
@@ -55,6 +56,8 @@ from __future__ import annotations
 
 import heapq
 import os
+import signal
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field, replace
@@ -75,6 +78,7 @@ __all__ = [
     "BatchResult",
     "TaskTimeout",
     "WorkerCrash",
+    "SweepTerminated",
     "TIMEOUT",
     "CRASH",
     "ERROR",
@@ -100,6 +104,18 @@ class TaskTimeout(RuntimeError):
 
 class WorkerCrash(RuntimeError):
     """The worker process executing a task died."""
+
+
+class SweepTerminated(BaseException):
+    """SIGTERM arrived while a batch was executing.
+
+    A ``BaseException`` (like ``KeyboardInterrupt``) so it can never be
+    swallowed by the per-task ``except Exception`` handling: it must
+    propagate out of :func:`run_many` after finished work has been
+    harvested into the cache and journal.  Containerized deployments
+    (``docker stop``, Kubernetes eviction, systemd shutdown) deliver
+    SIGTERM, not SIGINT — both now drain loss-free and resumably.
+    """
 
 
 @dataclass
@@ -318,6 +334,7 @@ class _PoolDriver:
         fail: "Callable[[int, Exception, str], None]",
         progress: "Callable[[str], None] | None",
         prepare: "Callable[[int], RunTask] | None" = None,
+        on_retry: "Callable[[int, str, int], None] | None" = None,
     ) -> None:
         self.tasks = tasks
         self.jobs = jobs
@@ -332,6 +349,10 @@ class _PoolDriver:
         #: the checkpoint layer uses it to point retries at the snapshot
         #: the previous (killed) attempt left behind.
         self.prepare = prepare
+        #: Structured retry notification ``(task index, kind, attempt)``
+        #: fired when a transient failure is about to be retried — the
+        #: serving layer streams it to clients as a ``retrying`` event.
+        self.on_retry = on_retry
         self.queue: "deque[int]" = deque(sorted(pending))
         self.delayed: "list[tuple[float, int]]" = []  # (ready_at, i) heap
 
@@ -357,6 +378,8 @@ class _PoolDriver:
             f"{self.tasks[i].label}: {detail}; retrying in {delay:.1f}s "
             f"(attempt {self.attempts[i] + 1} of {self.retries + 1})"
         )
+        if self.on_retry is not None:
+            self.on_retry(i, kind, self.attempts[i] + 1)
         heapq.heappush(self.delayed, (time.monotonic() + delay, i))
 
     def _drain_delayed(self, block: bool) -> None:
@@ -492,7 +515,7 @@ class _PoolDriver:
                     futures.clear()
                     _kill_pool(pool)
                     pool = None
-            except KeyboardInterrupt:
+            except (KeyboardInterrupt, SweepTerminated):
                 self._harvest_on_interrupt(futures)
                 if pool is not None:
                     try:
@@ -520,10 +543,22 @@ def run_many_detailed(
     checkpoint_every: "int | None" = None,
     checkpoint_dir: "str | None" = None,
     keep_checkpoints: bool = False,
+    on_retry: "Callable[[int, str, int], None] | None" = None,
 ) -> BatchResult:
     """Execute ``tasks`` and return a :class:`BatchResult` (never raises
     :class:`TaskFailure` — failed slots are ``None`` and described in
     ``failures``).
+
+    ``on_retry`` (if given) is called as ``on_retry(index, kind,
+    attempt)`` whenever a transient failure of task ``index`` is about to
+    be retried.
+
+    When called from the main thread, SIGTERM is handled exactly like
+    Ctrl-C for the duration of the batch: finished futures are harvested
+    into the cache and journal, the rest are cancelled, and
+    :class:`SweepTerminated` propagates — so a containerized drain
+    (``docker stop``/Kubernetes SIGTERM) is loss-free and the batch is
+    resumable with ``resume=True``.
 
     ``timeout``/``retries`` default to ``REPRO_BENCH_TASK_TIMEOUT`` /
     ``REPRO_BENCH_RETRIES``; ``journal="auto"`` checkpoints next to the
@@ -709,43 +744,71 @@ def run_many_detailed(
             task = replace(task, restore_from=path)
         return task
 
-    use_pool = bool(pending) and (
-        (jobs > 1 and len(pending) > 1) or timeout is not None
-    )
-    if use_pool:
-        driver = _PoolDriver(
-            tasks, pending, jobs, timeout, retries, backoff,
-            batch.attempts, finish_tracked, fail_tracked, progress,
-            prepare=prepare if checkpoint_every is not None else None,
-        )
-        try:
-            driver.run()
-        except _PoolUnavailable as exc:
-            if progress is not None:
-                progress(
-                    f"process pool unavailable ({exc.args[0]!r}); finishing "
-                    f"{len(outstanding)} run(s) serially"
-                    + ("" if timeout is None else " (timeout not enforced)")
-                )
+    # Treat SIGTERM like Ctrl-C while the batch executes: harvest what
+    # finished, cancel the rest, propagate.  Signal handlers can only be
+    # installed from the main thread; elsewhere (e.g. a repro.serve
+    # worker thread) the process-wide policy stays whatever the host
+    # application installed.
+    previous_term = None
+    term_installed = False
+    if threading.current_thread() is threading.main_thread():
+        def _on_sigterm(signum, frame):
+            raise SweepTerminated("SIGTERM during run_many batch")
 
-    # Serial path: first resort for jobs=1, fallback when no pool can be
-    # built.  No parent/worker boundary exists here, so timeouts cannot
-    # be enforced and every failure is deterministic by definition.
-    for i in sorted(outstanding):
-        batch.attempts[i] += 1
-        start = time.monotonic()
         try:
-            result = _execute(
-                tasks[i] if checkpoint_every is None else prepare(i)
+            previous_term = signal.signal(signal.SIGTERM, _on_sigterm)
+            term_installed = True
+        except (ValueError, OSError):
+            term_installed = False
+
+    try:
+        use_pool = bool(pending) and (
+            (jobs > 1 and len(pending) > 1) or timeout is not None
+        )
+        if use_pool:
+            driver = _PoolDriver(
+                tasks, pending, jobs, timeout, retries, backoff,
+                batch.attempts, finish_tracked, fail_tracked, progress,
+                prepare=prepare if checkpoint_every is not None else None,
+                on_retry=on_retry,
             )
-        except KeyboardInterrupt:
-            # Everything finished so far is already cached and journaled
-            # incrementally — an interrupted sweep is resumable as-is.
-            raise
-        except Exception as exc:
-            fail(i, exc, ERROR, duration=time.monotonic() - start)
-        else:
-            finish(i, result, time.monotonic() - start)
+            try:
+                driver.run()
+            except _PoolUnavailable as exc:
+                if progress is not None:
+                    progress(
+                        f"process pool unavailable ({exc.args[0]!r}); "
+                        f"finishing {len(outstanding)} run(s) serially"
+                        + ("" if timeout is None
+                           else " (timeout not enforced)")
+                    )
+
+        # Serial path: first resort for jobs=1, fallback when no pool can
+        # be built.  No parent/worker boundary exists here, so timeouts
+        # cannot be enforced and every failure is deterministic by
+        # definition.
+        for i in sorted(outstanding):
+            batch.attempts[i] += 1
+            start = time.monotonic()
+            try:
+                result = _execute(
+                    tasks[i] if checkpoint_every is None else prepare(i)
+                )
+            except (KeyboardInterrupt, SweepTerminated):
+                # Everything finished so far is already cached and
+                # journaled incrementally — an interrupted sweep is
+                # resumable as-is.
+                raise
+            except Exception as exc:
+                fail(i, exc, ERROR, duration=time.monotonic() - start)
+            else:
+                finish(i, result, time.monotonic() - start)
+    finally:
+        if term_installed and previous_term is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous_term)
+            except (ValueError, OSError, TypeError):
+                pass
 
     return batch
 
@@ -765,6 +828,7 @@ def run_many(
     checkpoint_every: "int | None" = None,
     checkpoint_dir: "str | None" = None,
     keep_checkpoints: bool = False,
+    on_retry: "Callable[[int, str, int], None] | None" = None,
 ) -> "list[RunResult]":
     """Execute ``tasks`` and return their results in task order.
 
@@ -785,7 +849,7 @@ def run_many(
         timeout=timeout, retries=retries, backoff=backoff,
         journal=journal, resume=resume,
         checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir,
-        keep_checkpoints=keep_checkpoints,
+        keep_checkpoints=keep_checkpoints, on_retry=on_retry,
     )
     if batch.failures and not keep_going:
         raise TaskFailure.from_batch(tasks, batch.failures)

@@ -468,6 +468,122 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.app import ServeApp
+
+    app = ServeApp(
+        host=args.host,
+        port=args.port,
+        cache=_cache(args),
+        workers=args.workers,
+        sim_jobs=args.jobs or 1,
+        max_depth=args.max_depth,
+        timeout=getattr(args, "task_timeout", None),
+        retries=getattr(args, "retries", None),
+        log=_progress,
+    )
+    app.run()  # returns after a SIGTERM/SIGINT-triggered drain
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(
+        host=args.host, port=args.port, client=args.client,
+    )
+    params: dict = {"benchmark": args.benchmark}
+    if args.kind == "sweep":
+        params["spes"] = list(args.spes)
+    else:
+        params["spes"] = args.spes[0]
+        params["prefetch"] = args.prefetch
+    if args.scale is not None:
+        params["scale"] = args.scale
+    if args.latency is not None:
+        params["latency"] = args.latency
+    if args.faults is not None:
+        params["faults"] = args.faults
+    if args.sanitize:
+        params["sanitize"] = True
+    if args.threshold != 0.5:
+        params["threshold"] = args.threshold
+    if args.kind == "profile" and args.bucket_cycles is not None:
+        params["bucket_cycles"] = args.bucket_cycles
+    try:
+        job = client.submit_request({
+            "v": 1,
+            "kind": args.kind,
+            "client": args.client,
+            "priority": args.priority,
+            "params": params,
+        })
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.retry_after is not None:
+            print(f"server is saturated; retry in ~{exc.retry_after}s",
+                  file=sys.stderr)
+        return 1
+    except ConnectionRefusedError:
+        print(f"error: no server on {args.host}:{args.port} "
+              f"(start one with 'repro serve')", file=sys.stderr)
+        return 1
+    _progress(f"job {job['id']} {job['state']}"
+              + (" (coalesced with an identical in-flight job)"
+                 if job.get("coalesced_into") else ""))
+    if args.no_wait:
+        print(_json.dumps(job, indent=2, sort_keys=True))
+        return 0
+    for event in client.events(job["id"]):
+        if event["event"] == "log":
+            _progress(event["message"])
+        elif event["event"] != "coalesced":
+            _progress(f"job {job['id']}: {event['event']}")
+    final = client.status(job["id"])
+    if final["state"] != "done":
+        print(f"error: job {job['id']} {final['state']}: "
+              f"{final.get('error')}", file=sys.stderr)
+        return 1
+    payload = client.result(job["id"])
+    text = _json.dumps(payload, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        _progress(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.bench.cache import default_cache, parse_bytes
+
+    cache = default_cache()
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} cached result(s) from {cache.root}")
+        return 0
+    if args.max_bytes is not None:
+        budget = parse_bytes(args.max_bytes)
+        evicted = cache.trim(budget)
+        print(f"evicted {evicted} entr(y/ies) trimming to "
+              f"{budget} bytes")
+    entries, size = cache.disk_usage()
+    print(f"cache root: {cache.root}")
+    print(f"entries:    {entries}")
+    print(f"disk bytes: {size}")
+    if cache.max_bytes is not None:
+        print(f"budget:     {cache.max_bytes} bytes "
+              f"(REPRO_BENCH_CACHE_MAX_BYTES)")
+    journal_path = cache.root / "journal.jsonl"
+    if journal_path.is_file():
+        print(f"journal:    {journal_path} "
+              f"({journal_path.stat().st_size} bytes)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -652,6 +768,79 @@ def build_parser() -> argparse.ArgumentParser:
     parallel_opts(p_rep, keep_going=True)
     p_rep.set_defaults(func=cmd_reproduce)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="start the simulation-as-a-service HTTP gateway "
+             "(see docs/SERVING.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8357,
+                         help="listen port (0 = ephemeral; default 8357)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="concurrent job executors (default 2)")
+    p_serve.add_argument("--max-depth", type=int, default=64,
+                         help="queued-job bound before submissions get "
+                              "503 + Retry-After (default 64)")
+    p_serve.add_argument("--jobs", "-j", type=int, default=None,
+                         help="worker processes each job's batch may "
+                              "fan out to (default 1)")
+    p_serve.add_argument("--no-cache", dest="cache", action="store_false",
+                         default=True,
+                         help="serve without the persistent result cache "
+                              "(disables cross-restart coalescing)")
+    p_serve.add_argument("--task-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-task wall-clock timeout for job batches")
+    p_serve.add_argument("--retries", type=int, default=None, metavar="N",
+                         help="transient-failure retry budget per task")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_sub = sub.add_parser(
+        "submit",
+        help="submit a job to a running 'repro serve' gateway and "
+             "stream its progress",
+    )
+    p_sub.add_argument("kind", choices=["run", "sweep", "profile"])
+    p_sub.add_argument("benchmark", choices=sorted(builders()))
+    p_sub.add_argument("--host", default="127.0.0.1")
+    p_sub.add_argument("--port", type=int, default=8357)
+    p_sub.add_argument("--client", default="cli",
+                       help="client identity for fair scheduling")
+    p_sub.add_argument("--priority", type=int, default=5,
+                       help="0 (urgent) .. 9 (batch); default 5")
+    p_sub.add_argument("--spes", type=int, nargs="+", default=[8],
+                       help="machine size(s); one value for run/profile, "
+                            "an axis for sweep")
+    p_sub.add_argument("--scale", choices=sorted(SCALES), default=None)
+    p_sub.add_argument("--latency", type=int, default=None)
+    p_sub.add_argument("--threshold", type=float, default=0.5)
+    p_sub.add_argument("--faults", default=None, metavar="SPEC")
+    p_sub.add_argument("--sanitize", action="store_true")
+    group_sub = p_sub.add_mutually_exclusive_group()
+    group_sub.add_argument("--prefetch", action="store_true", default=True)
+    group_sub.add_argument("--no-prefetch", dest="prefetch",
+                           action="store_false")
+    p_sub.add_argument("--bucket-cycles", type=int, default=None,
+                       help="profile jobs: timeseries bucket width")
+    p_sub.add_argument("--no-wait", action="store_true",
+                       help="print the accepted job id and exit instead "
+                            "of streaming events")
+    p_sub.add_argument("--output", "-o", default=None,
+                       help="write the result payload here instead of "
+                            "stdout")
+    p_sub.set_defaults(func=cmd_submit)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or manage the persistent result cache",
+    )
+    p_cache.add_argument("--clear", action="store_true",
+                         help="delete every cached result")
+    p_cache.add_argument("--max-bytes", default=None, metavar="SIZE",
+                         help="trim the cache to SIZE (suffixes k/m/g), "
+                              "evicting least-recently-used entries")
+    p_cache.set_defaults(func=cmd_cache)
+
     return parser
 
 
@@ -667,6 +856,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         except Exception:
             pass
         return 0
+    except BaseException as exc:
+        from repro.bench.parallel import SweepTerminated
+
+        if isinstance(exc, SweepTerminated):
+            # SIGTERM mid-batch: finished work was harvested into the
+            # cache/journal; exit with the conventional 128 + SIGTERM.
+            print("# terminated: partial results cached; re-run with "
+                  "--resume to continue", file=sys.stderr)
+            return 143
+        raise
 
 
 if __name__ == "__main__":  # pragma: no cover

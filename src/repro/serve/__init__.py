@@ -1,0 +1,57 @@
+"""``repro.serve`` — the simulation-as-a-service gateway.
+
+Turns the one-shot bench harness into a long-lived multi-tenant job
+engine: an asyncio HTTP/JSON service (stdlib only) that accepts run /
+sweep / profile jobs, schedules them over the existing
+:func:`repro.bench.parallel.run_many_detailed` machinery, coalesces
+identical requests down to a single simulation, streams per-job progress
+as NDJSON, exports Prometheus metrics, applies admission control under
+overload, and drains gracefully on SIGTERM.
+
+Layering (bottom up):
+
+``protocol``
+    Versioned request/response schemas with strict eager validation.
+``queue``
+    Priority job queue with per-client fairness, bounded depth and
+    admission control (the 503 + ``Retry-After`` source).
+``scheduler``
+    Worker-pool dispatcher + request coalescing over the result cache.
+``app``
+    The asyncio HTTP server: submit/status/result/cancel endpoints,
+    NDJSON event streaming, ``/healthz``, ``/metricsz``, SIGTERM drain.
+``client``
+    Small synchronous client used by tests, examples and the
+    ``repro submit`` CLI.
+
+See docs/SERVING.md for the full API and semantics.
+"""
+
+from repro.serve.app import ServeApp
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    SCHEMA_VERSION,
+    JobRequest,
+    JobSpec,
+    ProtocolError,
+    parse_request,
+)
+from repro.serve.queue import JobQueue, QueueFull
+from repro.serve.scheduler import JobRecord, JobScheduler
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SCHEMA_VERSION",
+    "JobRequest",
+    "JobSpec",
+    "ProtocolError",
+    "parse_request",
+    "JobQueue",
+    "QueueFull",
+    "JobRecord",
+    "JobScheduler",
+    "ServeApp",
+    "ServeClient",
+    "ServeError",
+]

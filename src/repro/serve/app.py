@@ -1,0 +1,312 @@
+"""The asyncio HTTP gateway: routes, streaming, drain.
+
+Endpoints (all JSON unless noted)::
+
+    POST   /v1/jobs            submit -> 202 status | 400 | 503+Retry-After
+    GET    /v1/jobs            list job statuses (?client= filter)
+    GET    /v1/jobs/<id>        one job's status
+    GET    /v1/jobs/<id>/result terminal payload (409 while running)
+    GET    /v1/jobs/<id>/events NDJSON event stream (?from=N to resume)
+    DELETE /v1/jobs/<id>        cancel a queued job
+    GET    /healthz             liveness + queue/worker snapshot
+    GET    /metricsz            Prometheus text (serving + sim metrics)
+
+Shutdown: SIGTERM or SIGINT flips the app into *drain* mode — new
+submissions get 503, every already-accepted job still runs to
+completion (each result lands in the cache and journal the moment it
+finishes), event streams stay up until their job settles, and only
+then does the process exit.  ``docker stop`` therefore never loses an
+accepted job; at worst a re-submit after restart replays from cache.
+
+The app is equally happy hosted off the main thread (tests do this):
+signal-handler installation degrades gracefully and
+:meth:`ServeApp.request_drain` is thread-safe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+from typing import TYPE_CHECKING
+
+from repro.serve import http
+from repro.serve.http import HttpError, Request
+from repro.serve.prom import render_prometheus
+from repro.serve.protocol import ProtocolError, parse_request
+from repro.serve.queue import QueueFull
+from repro.serve.scheduler import DONE, FAILED, TERMINAL_STATES, JobScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bench.cache import ResultCache
+    from repro.obs.hub import MetricsHub
+
+__all__ = ["ServeApp", "DEFAULT_PORT"]
+
+DEFAULT_PORT = 8357
+
+
+class ServeApp:
+    """One gateway instance: HTTP front end + scheduler + metrics hub."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        cache: "ResultCache | None" = None,
+        hub: "MetricsHub | None" = None,
+        workers: int = 2,
+        sim_jobs: int = 1,
+        max_depth: int = 64,
+        timeout: "float | None" = None,
+        retries: "int | None" = None,
+        backoff: float = 0.5,
+        scheduler: "JobScheduler | None" = None,
+        log=None,
+    ) -> None:
+        if hub is None:
+            from repro.obs.hub import MetricsHub
+
+            hub = MetricsHub()
+        self.host = host
+        self.port = port
+        self.hub = hub
+        self.scheduler = scheduler if scheduler is not None else JobScheduler(
+            cache=cache,
+            hub=hub,
+            workers=workers,
+            sim_jobs=sim_jobs,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            max_depth=max_depth,
+        )
+        self.log = log or (lambda msg: None)
+        #: Actual bound port (resolves ``port=0``); set before ``ready``.
+        self.bound_port: "int | None" = None
+        #: Set once the server is accepting connections (thread-safe).
+        self.ready = threading.Event()
+        self.started_at: "float | None" = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._drain_event: "asyncio.Event | None" = None
+        self._c_requests = hub.counter("serve.http_requests")
+        self._c_errors = hub.counter("serve.http_errors")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def run(self) -> None:
+        """Blocking entry point: serve until SIGTERM/SIGINT, then drain."""
+        asyncio.run(self.serve())
+
+    def request_drain(self) -> None:
+        """Thread-safe drain trigger (what a signal would do)."""
+        loop, event = self._loop, self._drain_event
+        if loop is not None and event is not None:
+            try:
+                loop.call_soon_threadsafe(event.set)
+            except RuntimeError:
+                pass  # loop already closed: the drain has happened
+
+    async def serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._drain_event = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(signum, self._drain_event.set)
+            except (NotImplementedError, ValueError, RuntimeError):
+                break  # non-main thread / unsupported platform
+        await self.scheduler.start()
+        server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.bound_port = server.sockets[0].getsockname()[1]
+        self.started_at = time.time()
+        self.ready.set()
+        self.log(f"serving on {self.host}:{self.bound_port}")
+        try:
+            await self._drain_event.wait()
+            self.log("drain requested: refusing new jobs, "
+                     f"finishing {len(self.scheduler.queue)} queued + "
+                     f"{self.scheduler.active} running job(s)")
+            self.scheduler.draining = True
+            await self.scheduler.drain()
+            self.log("drained: all accepted jobs settled")
+        finally:
+            server.close()
+            await server.wait_closed()
+            self.ready.clear()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await http.read_request(reader)
+                if request is None:
+                    return
+                self._c_requests.add()
+                await self._route(request, writer)
+            except HttpError as exc:
+                self._c_errors.add()
+                writer.write(http.json_response(
+                    exc.status, {"error": str(exc)}
+                ))
+            except Exception as exc:  # a handler bug must not kill the loop
+                self._c_errors.add()
+                self.log(f"internal error: {type(exc).__name__}: {exc}")
+                try:
+                    writer.write(http.json_response(
+                        500, {"error": f"{type(exc).__name__}: {exc}"}
+                    ))
+                except Exception:
+                    pass
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _route(self, req: Request, writer: asyncio.StreamWriter) -> None:
+        path = req.path.rstrip("/") or "/"
+        if path == "/healthz" and req.method == "GET":
+            writer.write(http.json_response(200, self._health()))
+            return
+        if path == "/metricsz" and req.method == "GET":
+            writer.write(http.response(
+                200,
+                render_prometheus(self.hub, extra=self._extra_metrics()).encode(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            ))
+            return
+        if path == "/v1/jobs":
+            if req.method == "POST":
+                await self._submit(req, writer)
+                return
+            if req.method == "GET":
+                self._list_jobs(req, writer)
+                return
+            raise HttpError(405, f"{req.method} not allowed on {path}")
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            job_id, _, tail = rest.partition("/")
+            record = self.scheduler.records.get(job_id)
+            if record is None:
+                raise HttpError(404, f"no such job: {job_id!r}")
+            if not tail and req.method == "GET":
+                writer.write(http.json_response(200, record.status_dict()))
+                return
+            if not tail and req.method == "DELETE":
+                ok, reason = self.scheduler.cancel(job_id)
+                status = 200 if ok else 409
+                writer.write(http.json_response(
+                    status, {"id": job_id, "cancelled": ok, "reason": reason}
+                ))
+                return
+            if tail == "result" and req.method == "GET":
+                self._result(record, writer)
+                return
+            if tail == "events" and req.method == "GET":
+                await self._stream_events(req, record, writer)
+                return
+            raise HttpError(404, f"unknown endpoint: {req.method} {req.path}")
+        raise HttpError(404, f"unknown endpoint: {req.method} {req.path}")
+
+    # -- handlers ------------------------------------------------------------
+
+    async def _submit(self, req: Request, writer: asyncio.StreamWriter) -> None:
+        try:
+            job_request = parse_request(req.json())
+        except ProtocolError as exc:
+            raise HttpError(400, str(exc))
+        try:
+            record, coalesced = await self.scheduler.submit(job_request)
+        except QueueFull as exc:
+            writer.write(http.json_response(
+                503,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                extra_headers={"Retry-After": str(exc.retry_after)},
+            ))
+            return
+        except RuntimeError as exc:  # draining
+            retry = self.scheduler.queue.retry_after()
+            writer.write(http.json_response(
+                503,
+                {"error": str(exc), "retry_after": retry},
+                extra_headers={"Retry-After": str(retry)},
+            ))
+            return
+        status = record.status_dict()
+        status["coalesced_into"] = record.id if coalesced else None
+        writer.write(http.json_response(202, status))
+
+    def _list_jobs(self, req: Request, writer: asyncio.StreamWriter) -> None:
+        client = req.query.get("client")
+        jobs = [
+            rec.status_dict()
+            for rec in self.scheduler.records.values()
+            if client is None or rec.request.client == client
+        ]
+        writer.write(http.json_response(200, {"jobs": jobs}))
+
+    def _result(self, record, writer: asyncio.StreamWriter) -> None:
+        if record.state == DONE:
+            writer.write(http.json_response(200, record.result))
+            return
+        if record.state == FAILED:
+            writer.write(http.json_response(500, {
+                "id": record.id, "state": record.state, "error": record.error,
+            }))
+            return
+        if record.state in TERMINAL_STATES:  # cancelled
+            writer.write(http.json_response(409, {
+                "id": record.id, "state": record.state,
+                "error": "job was cancelled",
+            }))
+            return
+        writer.write(http.json_response(409, {
+            "id": record.id, "state": record.state,
+            "error": "job has not finished; poll again or stream /events",
+        }))
+
+    async def _stream_events(
+        self, req: Request, record, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            start = int(req.query.get("from", "0"))
+        except ValueError:
+            raise HttpError(400, f"bad from= value: {req.query['from']!r}")
+        writer.write(http.stream_head())
+        await writer.drain()
+        async for event in record.stream(start):
+            writer.write(
+                (json.dumps(event, sort_keys=True) + "\n").encode()
+            )
+            await writer.drain()
+
+    # -- introspection -------------------------------------------------------
+
+    def _health(self) -> dict:
+        sched = self.scheduler
+        return {
+            "status": "draining" if sched.draining else "ok",
+            "queued": len(sched.queue),
+            "active": sched.active,
+            "workers": sched.workers,
+            "jobs_tracked": len(sched.records),
+            "uptime": round(time.time() - (self.started_at or time.time()), 3),
+            "cache": str(sched.cache.root) if sched.cache is not None else None,
+        }
+
+    def _extra_metrics(self) -> "dict[str, float]":
+        sched = self.scheduler
+        return {
+            "serve.uptime_seconds": time.time() - (self.started_at or time.time()),
+            "serve.draining": 1.0 if sched.draining else 0.0,
+            "serve.jobs_tracked": float(len(sched.records)),
+        }

@@ -1,0 +1,199 @@
+"""Small synchronous client of the serving gateway.
+
+Used by the ``repro submit`` CLI, the test-suite and the examples; one
+``http.client`` connection per call (the server speaks
+``Connection: close``), so there is no connection state to manage.
+
+    client = ServeClient(port=8357)
+    job = client.submit("sweep", "mmul", spes=[1, 2, 4, 8])
+    for event in client.events(job["id"]):
+        print(event["event"])
+    payload = client.result(job["id"])
+
+Errors surface as :class:`ServeError` carrying the HTTP status and,
+for 503 rejections, the server's ``Retry-After`` hint.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+__all__ = ["ServeClient", "ServeError"]
+
+from repro.serve.protocol import PROTOCOL_VERSION
+
+_TERMINAL_EVENTS = {"done", "failed", "cancelled"}
+
+
+class ServeError(RuntimeError):
+    """A request the server refused; ``status`` is the HTTP code."""
+
+    def __init__(
+        self, status: int, message: str, retry_after: "int | None" = None,
+    ) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """Talk to one gateway instance."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8357,
+        timeout: "float | None" = 60.0,
+        client: str = "anonymous",
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.client = client
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _connect(self, timeout: "float | None") -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port, timeout=timeout)
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: "object | None" = None,
+        ok: "tuple[int, ...]" = (200, 202),
+    ) -> dict:
+        conn = self._connect(self.timeout)
+        try:
+            data = None
+            headers = {}
+            if body is not None:
+                data = json.dumps(body).encode()
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=data, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+            try:
+                payload = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                payload = {"error": raw.decode(errors="replace")}
+            if resp.status not in ok:
+                retry = resp.getheader("Retry-After")
+                raise ServeError(
+                    resp.status,
+                    str(payload.get("error", payload)),
+                    retry_after=int(retry) if retry else None,
+                )
+            return payload
+        finally:
+            conn.close()
+
+    # -- API -----------------------------------------------------------------
+
+    def submit_request(self, payload: dict) -> dict:
+        """POST a raw request body; returns the 202 job status."""
+        return self._request("POST", "/v1/jobs", body=payload, ok=(202,))
+
+    def submit(
+        self,
+        kind: str,
+        benchmark: str,
+        *,
+        priority: "int | None" = None,
+        client: "str | None" = None,
+        **params: object,
+    ) -> dict:
+        """Build and POST a v1 request; kwargs become ``params``."""
+        body: dict = {
+            "v": PROTOCOL_VERSION,
+            "kind": kind,
+            "client": client if client is not None else self.client,
+            "params": {"benchmark": benchmark, **params},
+        }
+        if priority is not None:
+            body["priority"] = priority
+        return self.submit_request(body)
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self, client: "str | None" = None) -> "list[dict]":
+        path = "/v1/jobs" + (f"?client={client}" if client else "")
+        return self._request("GET", path)["jobs"]
+
+    def result(self, job_id: str) -> dict:
+        """The terminal payload; :class:`ServeError` 409 while running."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/v1/jobs/{job_id}", ok=(200, 409))
+
+    def events(
+        self,
+        job_id: str,
+        start: int = 0,
+        timeout: "float | None" = None,
+    ):
+        """Yield the job's NDJSON events; ends after the terminal event.
+
+        ``timeout`` bounds each blocking read (None = wait as long as
+        the job takes); ``start`` resumes mid-stream after a disconnect.
+        """
+        conn = self._connect(timeout)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events?from={start}")
+            resp = conn.getresponse()
+            if resp.status != 200:
+                raw = resp.read()
+                try:
+                    message = json.loads(raw).get("error", raw.decode())
+                except json.JSONDecodeError:
+                    message = raw.decode(errors="replace")
+                raise ServeError(resp.status, message)
+            while True:
+                line = resp.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    def wait(self, job_id: str, timeout: "float | None" = None) -> dict:
+        """Stream events until the job settles; returns the final status."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        start = 0
+        while True:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"job {job_id} still running after {timeout}s"
+                    )
+            for event in self.events(job_id, start=start, timeout=remaining):
+                start = event["seq"] + 1
+                if event["event"] in _TERMINAL_EVENTS:
+                    return self.status(job_id)
+            # Stream ended without a terminal event (server-side hiccup);
+            # re-attach from where we left off.
+            time.sleep(0.05)
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """Raw Prometheus text from ``/metricsz``."""
+        conn = self._connect(self.timeout)
+        try:
+            conn.request("GET", "/metricsz")
+            resp = conn.getresponse()
+            body = resp.read().decode()
+            if resp.status != 200:
+                raise ServeError(resp.status, body)
+            return body
+        finally:
+            conn.close()

@@ -1,0 +1,174 @@
+"""Tiny HTTP/1.1 layer for the asyncio gateway (stdlib only).
+
+Just enough of RFC 9112 for a JSON job API: one request per
+connection (``Connection: close`` on every response, so NDJSON
+streaming is simply "write lines, then close"), ``Content-Length``
+bodies only (no chunked upload), bounded header and body sizes.
+Keeping this ~150 lines beats dragging in a framework the container
+does not have.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "read_request",
+    "response",
+    "json_response",
+    "stream_head",
+    "STATUS_REASONS",
+]
+
+#: Upper bound on the request line + headers block, bytes.
+MAX_HEAD_BYTES = 16 * 1024
+#: Upper bound on a request body, bytes (job specs are tiny).
+MAX_BODY_BYTES = 1024 * 1024
+
+STATUS_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Content Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A malformed request; carries the status to answer with."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: "dict[str, str]" = field(default_factory=dict)
+    headers: "dict[str, str]" = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> object:
+        """Decode the body as JSON; raises :class:`HttpError` (400)."""
+        if not self.body:
+            raise HttpError(400, "request body required")
+        try:
+            return json.loads(self.body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+
+
+async def read_request(reader: asyncio.StreamReader) -> "Request | None":
+    """Parse one request; ``None`` on a clean EOF before any bytes."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, f"request head exceeds {MAX_HEAD_BYTES} bytes")
+    if len(head) > MAX_HEAD_BYTES:
+        raise HttpError(413, f"request head exceeds {MAX_HEAD_BYTES} bytes")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported HTTP version {version!r}")
+
+    headers: "dict[str, str]" = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    split = urlsplit(target)
+    query: "dict[str, str]" = {
+        k: v[-1] for k, v in parse_qs(split.query).items()
+    }
+
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length: {length!r}")
+        if n < 0 or n > MAX_BODY_BYTES:
+            raise HttpError(413, f"body of {n} bytes exceeds "
+                                 f"{MAX_BODY_BYTES}-byte limit")
+        if n:
+            try:
+                body = await reader.readexactly(n)
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, "truncated request body")
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+
+    return Request(
+        method=method.upper(),
+        path=unquote(split.path) or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def response(
+    status: int,
+    body: bytes = b"",
+    content_type: str = "text/plain; charset=utf-8",
+    extra_headers: "dict[str, str] | None" = None,
+) -> bytes:
+    """Serialize a full response (always ``Connection: close``)."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n"
+    return head + body
+
+
+def json_response(
+    status: int,
+    payload: object,
+    extra_headers: "dict[str, str] | None" = None,
+) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    return response(status, body, "application/json", extra_headers)
+
+
+def stream_head(content_type: str = "application/x-ndjson") -> bytes:
+    """Response head for an NDJSON stream: no Content-Length; the end
+    of the stream is signalled by closing the connection."""
+    return (
+        "HTTP/1.1 200 OK\r\n"
+        f"Content-Type: {content_type}\r\n"
+        "Cache-Control: no-store\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("latin-1")

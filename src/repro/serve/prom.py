@@ -1,0 +1,64 @@
+"""Prometheus text-format (0.0.4) rendering of a :class:`MetricsHub`.
+
+The observability hub already holds everything worth scraping —
+serving-side counters/gauges (``serve.*``, registered by the queue and
+scheduler) next to whatever simulation instruments were fed into the
+same hub.  This module only *renders*; it never mutates the hub.
+
+Name mapping: instrument names are dotted (``serve.queue_depth``);
+Prometheus names must match ``[a-zA-Z_:][a-zA-Z0-9_:]*``, so dots and
+any other illegal characters become underscores and everything is
+prefixed ``repro_``: ``serve.queue_depth`` -> ``repro_serve_queue_depth``.
+Counters additionally get the conventional ``_total`` suffix.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.hub import MetricsHub
+
+__all__ = ["render_prometheus", "prom_name"]
+
+_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prom_name(name: str, prefix: str = "repro_") -> str:
+    """Map an instrument name onto the Prometheus grammar."""
+    cleaned = _ILLEGAL.sub("_", name)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] in "_:"):
+        cleaned = "_" + cleaned
+    return prefix + cleaned
+
+
+def render_prometheus(hub: "MetricsHub", extra: "dict[str, float] | None" = None) -> str:
+    """Render every instrument of ``hub`` as Prometheus exposition text.
+
+    * counters -> ``<name>_total`` with ``# TYPE ... counter``;
+    * gauges -> current ``last`` plus a ``<name>_peak`` companion;
+    * bucket series -> their exact running ``total`` as a counter
+      (the bounded ring is a timeseries detail scrapers do not want);
+    * ``extra`` -> ad-hoc gauges (uptime, job states) the caller adds.
+    """
+    lines: "list[str]" = []
+
+    def emit(name: str, kind: str, value: float) -> None:
+        lines.append(f"# TYPE {name} {kind}")
+        if isinstance(value, float) and not value.is_integer():
+            lines.append(f"{name} {value!r}")
+        else:
+            lines.append(f"{name} {int(value)}")
+
+    for raw, counter in sorted(hub.counters.items()):
+        emit(prom_name(raw) + "_total", "counter", counter.value)
+    for raw, series in sorted(hub.series.items()):
+        emit(prom_name(raw) + "_total", "counter", series.total)
+    for raw, gauge in sorted(hub.gauges.items()):
+        base = prom_name(raw)
+        emit(base, "gauge", gauge.last)
+        emit(base + "_peak", "gauge", gauge.peak)
+    for raw, value in sorted((extra or {}).items()):
+        emit(prom_name(raw), "gauge", value)
+    return "\n".join(lines) + "\n"

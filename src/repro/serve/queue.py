@@ -1,0 +1,168 @@
+"""Priority job queue with per-client fairness and admission control.
+
+A plain (non-async) data structure — the event loop is single-threaded,
+so the scheduler wraps it in an ``asyncio.Condition`` rather than the
+queue carrying its own locking.
+
+Ordering
+--------
+``pop`` chooses, among the head job of every client, the one minimizing
+``(priority, served[client], seq)``:
+
+* **priority** first — an urgent job (priority 0) always beats a batch
+  job (priority 9), whoever submitted it;
+* **per-client fairness** second — within a priority class, the client
+  that has been served the fewest jobs wins, so one tenant queueing 100
+  sweeps cannot starve another's single run;
+* **FIFO** last — ties break by submission order.
+
+Admission control
+-----------------
+The queue is bounded: ``push`` beyond ``max_depth`` raises
+:class:`QueueFull` carrying a ``retry_after`` estimate (depth x the
+EWMA of recent job durations / worker count), which the HTTP layer
+turns into ``503`` + ``Retry-After``.  Better to refuse loudly at the
+door than to accumulate an unbounded promise backlog.
+
+Backpressure observability: depth, admissions, rejections and
+cancellations are registered in the observability
+:class:`~repro.obs.hub.MetricsHub` so ``/metricsz`` exports them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.hub import MetricsHub
+    from repro.serve.scheduler import JobRecord
+
+__all__ = ["JobQueue", "QueueFull"]
+
+
+class QueueFull(RuntimeError):
+    """The queue is at capacity; retry after ``retry_after`` seconds."""
+
+    def __init__(self, depth: int, retry_after: int) -> None:
+        super().__init__(
+            f"job queue full ({depth} job(s) queued); "
+            f"retry in ~{retry_after}s"
+        )
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+class JobQueue:
+    """Bounded priority queue of :class:`JobRecord`, fair across clients."""
+
+    def __init__(
+        self,
+        max_depth: int = 64,
+        workers: int = 2,
+        hub: "MetricsHub | None" = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self.workers = max(1, workers)
+        #: EWMA of observed job durations (seconds); seeds the
+        #: ``Retry-After`` estimate before any job has finished.
+        self.avg_seconds = 1.0
+        self._seq = 0
+        #: Per-client min-heaps of (priority, seq, record).
+        self._clients: "dict[str, list]" = {}
+        #: Jobs served per client (the fairness clock).
+        self._served: "dict[str, int]" = {}
+        #: Live queued records by job id (cancellation handle).
+        self._queued: "dict[str, JobRecord]" = {}
+        self._hub = hub
+        if hub is not None:
+            self._g_depth = hub.gauge("serve.queue_depth")
+            self._c_admitted = hub.counter("serve.admitted")
+            self._c_rejected = hub.counter("serve.rejected")
+            self._c_cancelled = hub.counter("serve.cancelled")
+
+    def __len__(self) -> int:
+        return len(self._queued)
+
+    def _observe_depth(self) -> None:
+        if self._hub is not None:
+            self._g_depth.observe(int(time.time()), len(self._queued))
+
+    def note_duration(self, seconds: float) -> None:
+        """Fold one finished job's duration into the EWMA."""
+        self.avg_seconds = 0.7 * self.avg_seconds + 0.3 * max(0.01, seconds)
+
+    def retry_after(self) -> int:
+        """Seconds a rejected client should wait before retrying."""
+        backlog = len(self._queued) + 1
+        return max(1, round(backlog * self.avg_seconds / self.workers))
+
+    def push(self, record: "JobRecord") -> None:
+        """Enqueue, or raise :class:`QueueFull` when at capacity."""
+        if len(self._queued) >= self.max_depth:
+            if self._hub is not None:
+                self._c_rejected.add()
+            raise QueueFull(len(self._queued), self.retry_after())
+        client = record.request.client
+        heap = self._clients.setdefault(client, [])
+        heapq.heappush(heap, (record.request.priority, self._seq, record))
+        self._seq += 1
+        self._queued[record.id] = record
+        if self._hub is not None:
+            self._c_admitted.add()
+        self._observe_depth()
+
+    def _head(self, client: str) -> "tuple[int, int, JobRecord] | None":
+        """The client's next live entry (discarding cancelled ones)."""
+        heap = self._clients.get(client)
+        while heap:
+            priority, seq, record = heap[0]
+            if record.id in self._queued:
+                return priority, seq, record
+            heapq.heappop(heap)  # cancelled: lazy-delete
+        return None
+
+    def pop(self) -> "JobRecord | None":
+        """Dequeue the fairest next job, or ``None`` when empty."""
+        best = None
+        best_key = None
+        for client in list(self._clients):
+            head = self._head(client)
+            if head is None:
+                if not self._clients[client]:
+                    del self._clients[client]
+                continue
+            priority, seq, record = head
+            key = (priority, self._served.get(client, 0), seq)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (client, record)
+        if best is None:
+            return None
+        client, record = best
+        heapq.heappop(self._clients[client])
+        del self._queued[record.id]
+        self._served[client] = self._served.get(client, 0) + 1
+        self._observe_depth()
+        return record
+
+    def remove(self, job_id: str) -> bool:
+        """Cancel a queued job; ``False`` if it is not queued (anymore)."""
+        record = self._queued.pop(job_id, None)
+        if record is None:
+            return False
+        if self._hub is not None:
+            self._c_cancelled.add()
+        self._observe_depth()
+        return True
+
+    def depths(self) -> "dict[str, int]":
+        """Queued-job count per client (live entries only)."""
+        out: "dict[str, int]" = {}
+        for record in self._queued.values():
+            client = record.request.client
+            out[client] = out.get(client, 0) + 1
+        return out

@@ -179,3 +179,103 @@ class TestCachedReproduce:
         run_many(tasks, cache=cache, progress=messages.append)
         assert sum("(cached)" in m for m in messages) == 2
         assert sum("(ran)" in m for m in messages) == 2
+
+
+class TestParseBytes:
+    def test_plain_and_suffixed_sizes(self):
+        from repro.bench.cache import parse_bytes
+
+        assert parse_bytes("1048576") == 1048576
+        assert parse_bytes("512k") == 512 * 1024
+        assert parse_bytes("64M") == 64 * 1024 * 1024
+        assert parse_bytes("2g") == 2 * 1024 ** 3
+        assert parse_bytes("1.5k") == 1536
+
+    def test_empty_and_none_mean_unbounded(self):
+        from repro.bench.cache import parse_bytes
+
+        assert parse_bytes(None) is None
+        assert parse_bytes("") is None
+        assert parse_bytes("  ") is None
+        assert parse_bytes("0") is None  # a zero budget is no budget
+
+    def test_garbage_raises(self):
+        from repro.bench.cache import parse_bytes
+
+        import pytest as _pytest
+        for bad in ("lots", "12q", "k"):
+            with _pytest.raises(ValueError, match="byte size"):
+                parse_bytes(bad)
+
+
+class TestSizeBudget:
+    def _fill(self, cache, n, start=0):
+        """Store n real results under synthetic keys with stepped mtimes
+        (filesystem mtime granularity is too coarse for LRU ordering)."""
+        import os as _os
+        import time as _time
+
+        wl = matmul.build(n=4, threads=2)
+        result = pair_tasks(wl, paper_config(1))[0].run()
+        now = _time.time()
+        keys = []
+        for i in range(start, start + n):
+            key = f"{i:03d}" + "f" * 61
+            cache.put(key, result)
+            # Backdate: oldest first, and always older than "now", so a
+            # get()-touch (current time) genuinely promotes an entry.
+            stamp = now - 1000 + i
+            _os.utime(cache.root / f"{key}.pkl", (stamp, stamp))
+            keys.append(key)
+        return keys
+
+    def test_put_evicts_least_recently_used(self, tmp_path):
+        probe = ResultCache(tmp_path / "probe")
+        self._fill(probe, 1)
+        entry_size = probe.disk_usage()[1]
+
+        cache = ResultCache(tmp_path / "c", max_bytes=3 * entry_size)
+        keys = self._fill(cache, 3)
+        assert cache.evicted == 0
+        extra = self._fill(cache, 1, start=3)
+        assert cache.evicted == 1
+        assert cache.get(keys[0]) is None  # oldest went first
+        assert all(cache.get(k) is not None for k in keys[1:] + extra)
+
+    def test_hit_refreshes_the_lru_clock(self, tmp_path):
+        probe = ResultCache(tmp_path / "probe")
+        self._fill(probe, 1)
+        entry_size = probe.disk_usage()[1]
+
+        cache = ResultCache(tmp_path / "c", max_bytes=3 * entry_size)
+        keys = self._fill(cache, 3)
+        assert cache.get(keys[0]) is not None  # touch the oldest...
+        self._fill(cache, 1, start=3)
+        # ...so the second-oldest is evicted instead
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[0]) is not None
+
+    def test_trim_reports_and_counts_evictions(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        self._fill(cache, 3)
+        assert cache.trim(None) == 0  # no budget, no-op
+        removed = cache.trim(1)
+        assert removed == 3
+        assert cache.evicted == 3
+        assert len(cache) == 0
+        assert "3 entr(ies) evicted by the size budget" in cache.summary()
+
+    def test_unbudgeted_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        self._fill(cache, 3)
+        assert cache.evicted == 0 and len(cache) == 3
+
+    def test_default_cache_reads_budget_from_env(self, monkeypatch, tmp_path):
+        from repro.bench.cache import default_cache
+
+        monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path / "c"))
+        monkeypatch.setenv("REPRO_BENCH_CACHE_MAX_BYTES", "512k")
+        cache = default_cache()
+        assert cache.max_bytes == 512 * 1024
+        monkeypatch.setenv("REPRO_BENCH_CACHE_MAX_BYTES", "garbage")
+        assert default_cache().max_bytes is None  # unparseable = off

@@ -240,3 +240,59 @@ class TestDiff:
     def test_missing_file_rejected(self):
         with pytest.raises(SystemExit, match="diff:"):
             main(["diff", "/nonexistent/a.json", "/nonexistent/b.json"])
+
+
+class TestCacheCommand:
+    # ``repro sweep`` goes through the caching runner: one SPE point
+    # stores two entries (base + prefetch).
+
+    def test_summary_of_a_populated_cache(self, capsys):
+        assert main(["sweep", "mmul", "--spes", "1"]) == 0
+        capsys.readouterr()
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cache root:" in out
+        assert "entries:    2" in out
+        assert "journal:" in out
+
+    def test_clear_empties_the_cache(self, capsys):
+        assert main(["sweep", "mmul", "--spes", "1"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--clear"]) == 0
+        out = capsys.readouterr().out
+        assert "cleared 2 cached result(s)" in out
+        assert main(["cache"]) == 0
+        assert "entries:    0" in capsys.readouterr().out
+
+    def test_trim_to_budget_evicts(self, capsys):
+        assert main(["sweep", "mmul", "--spes", "1"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--max-bytes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 2" in out
+        assert "entries:    0" in out
+
+    def test_bad_size_spec_raises(self):
+        with pytest.raises(ValueError, match="byte size"):
+            main(["cache", "--max-bytes", "plenty"])
+
+
+class TestServeParser:
+    def test_serve_and_submit_commands_are_wired(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--port", "0", "--workers", "3"])
+        assert args.func.__name__ == "cmd_serve"
+        assert args.workers == 3
+        args = parser.parse_args(
+            ["submit", "sweep", "bitcnt", "--spes", "1", "2"]
+        )
+        assert args.func.__name__ == "cmd_submit"
+        assert args.spes == [1, 2]
+
+    def test_submit_against_dead_server_fails_cleanly(self, capsys):
+        assert main(
+            ["submit", "run", "bitcnt", "--port", "1", "--spes", "1"]
+        ) == 1
+        assert "no server" in capsys.readouterr().err

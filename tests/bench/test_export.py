@@ -84,3 +84,32 @@ class TestReproduceAll:
         assert fig5["base"]["mem_stall"] > 0.8
         assert fig5["prefetch"]["mem_stall"] < 0.05
         json.loads(to_json(data))
+
+
+class TestSchemaVersion:
+    def test_run_payload_carries_schema_version(self, pair):
+        from repro.bench.export import SCHEMA_VERSION
+
+        data = run_to_dict(pair.base)
+        assert data["schema_version"] == SCHEMA_VERSION
+
+    def test_reproduce_all_carries_schema_version(self, monkeypatch):
+        from repro.bench.export import SCHEMA_VERSION, reproduce_all
+
+        monkeypatch.delenv("REPRO_BENCH_JOBS", raising=False)
+        data = reproduce_all(scale="test", spes=(1,))
+        assert data["schema_version"] == SCHEMA_VERSION
+
+    def test_round_trips_through_json(self, pair):
+        from repro.bench.export import SCHEMA_VERSION
+
+        data = run_to_dict(pair.base)
+        again = json.loads(json.dumps(data, sort_keys=True))
+        assert again == data
+        assert again["schema_version"] == SCHEMA_VERSION
+
+    def test_serve_protocol_shares_the_constant(self):
+        from repro.bench.export import SCHEMA_VERSION
+        from repro.serve.protocol import SCHEMA_VERSION as SERVE_VERSION
+
+        assert SERVE_VERSION is SCHEMA_VERSION

@@ -378,3 +378,96 @@ class TestKeepGoing:
         )
         assert set(scaling.pairs) == {1}
         assert scaling.pairs[1].base.cycles > 0
+
+
+@dataclass(frozen=True)
+class SigtermSelfTask(StubTask):
+    """Raises SIGTERM in-process (serial-path stand-in for docker stop)."""
+
+    def run(self) -> StubResult:
+        signal.raise_signal(signal.SIGTERM)
+        return StubResult(self.cycles)  # pragma: no cover - never reached
+
+
+@dataclass(frozen=True)
+class WaitThenSigtermParentTask(StubTask):
+    """Waits for a flag file, then SIGTERMs the parent process (the
+    pool-path stand-in: a worker observes the batch being evicted)."""
+
+    flag: str = ""
+
+    def run(self) -> StubResult:
+        deadline = time.monotonic() + 30
+        while not os.path.exists(self.flag):
+            if time.monotonic() > deadline:  # pragma: no cover - safety net
+                raise RuntimeError("flag never appeared")
+            time.sleep(0.01)
+        # Give the parent time to settle and journal the finished
+        # sibling future before the eviction signal lands.
+        time.sleep(1.0)
+        os.kill(os.getppid(), signal.SIGTERM)
+        time.sleep(30)  # pragma: no cover - cancelled by the harvest
+        return StubResult(self.cycles)
+
+
+class TestSigterm:
+    """SIGTERM must behave exactly like Ctrl-C: finished work is
+    harvested into cache and journal, then SweepTerminated propagates."""
+
+    def test_serial_sigterm_checkpoints_finished_work(self, tmp_path):
+        from repro.bench.parallel import SweepTerminated
+
+        journal = SweepJournal(tmp_path / "journal.jsonl")
+        tasks = [StubTask("a"), SigtermSelfTask("evicted"), StubTask("b")]
+        with pytest.raises(SweepTerminated):
+            run_many(tasks, jobs=1, journal=journal)
+        replay = journal.replay()
+        assert "stub:a" in replay and replay["stub:a"].done
+        assert "stub:b" not in replay  # never started; resumable later
+
+    def test_pool_sigterm_harvests_finished_futures(self, tmp_path):
+        from repro.bench.parallel import SweepTerminated
+
+        flag = str(tmp_path / "a-done")
+        journal = SweepJournal(tmp_path / "journal.jsonl")
+        tasks = [
+            FlagStubTask("a", flag=flag),
+            WaitThenSigtermParentTask("evicted", flag=flag),
+        ]
+        with pytest.raises(SweepTerminated):
+            run_many(tasks, jobs=2, journal=journal, backoff=0)
+        replay = journal.replay()
+        assert "stub:a" in replay and replay["stub:a"].done
+
+    def test_previous_handler_is_restored(self):
+        seen = []
+
+        def handler(signum, frame):  # pragma: no cover - never fired
+            seen.append(signum)
+
+        previous = signal.signal(signal.SIGTERM, handler)
+        try:
+            run_many_detailed([StubTask("a")], jobs=1, journal=None)
+            assert signal.getsignal(signal.SIGTERM) is handler
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+
+    def test_sigterm_in_worker_thread_is_not_installed(self, tmp_path):
+        # run_many off the main thread (the serving gateway does this)
+        # must not try to install a handler -- and must still work.
+        import threading
+
+        out = []
+
+        def work():
+            batch = run_many_detailed(
+                [StubTask("a", 5)], jobs=1, journal=None,
+            )
+            out.append(batch)
+
+        before = signal.getsignal(signal.SIGTERM)
+        t = threading.Thread(target=work)
+        t.start()
+        t.join(30)
+        assert out and out[0].complete
+        assert signal.getsignal(signal.SIGTERM) is before

@@ -1,0 +1,54 @@
+"""Shared serving-test fixtures: a threaded gateway + sync client.
+
+The app is hosted exactly the way a deployment embeds it off the main
+thread: ``app.run()`` on a daemon thread, ``ready`` event for startup,
+``request_drain()`` for shutdown.  Every booted app is drained at
+teardown so no worker outlives its test.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.bench.cache import ResultCache
+from repro.serve.app import ServeApp
+from repro.serve.client import ServeClient
+
+
+@pytest.fixture(autouse=True)
+def _serve_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "test")
+    monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_BENCH_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_BENCH_TASK_TIMEOUT", raising=False)
+    monkeypatch.delenv("REPRO_BENCH_RETRIES", raising=False)
+
+
+@pytest.fixture
+def cache(tmp_path) -> ResultCache:
+    return ResultCache(tmp_path / "cache")
+
+
+@pytest.fixture
+def serve_factory(cache):
+    """Boot ``ServeApp(port=0, **kwargs)`` on a thread; yields a factory
+    returning ``(app, client)``.  Drains every app at teardown."""
+    booted: "list[tuple[ServeApp, threading.Thread]]" = []
+
+    def boot(**kwargs) -> "tuple[ServeApp, ServeClient]":
+        kwargs.setdefault("cache", cache)
+        kwargs.setdefault("workers", 2)
+        app = ServeApp(port=0, **kwargs)
+        thread = threading.Thread(target=app.run, daemon=True)
+        thread.start()
+        assert app.ready.wait(15), "server never became ready"
+        booted.append((app, thread))
+        return app, ServeClient(port=app.bound_port)
+
+    yield boot
+    for app, thread in booted:
+        app.request_drain()
+        thread.join(60)
+        assert not thread.is_alive(), "server failed to drain"

@@ -1,0 +1,236 @@
+"""HTTP surface: routing, validation mapping, streaming, admission."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.obs.hub import MetricsHub
+from repro.serve.client import ServeError
+from repro.serve.scheduler import JobScheduler
+
+
+@dataclass(frozen=True)
+class GateTask:
+    """Blocks until its flag file appears, then returns nothing useful."""
+
+    name: str
+    flag: str
+
+    @property
+    def label(self) -> str:
+        return self.name
+
+    def key(self) -> str:
+        return f"gate:{self.name}"
+
+    def run(self):
+        import os
+        import time
+
+        deadline = time.monotonic() + 60
+        while not os.path.exists(self.flag):
+            if time.monotonic() > deadline:  # pragma: no cover - safety
+                raise RuntimeError("gate never opened")
+            time.sleep(0.01)
+        raise ValueError("gate task has no payload")
+
+
+def gated_app(serve_factory, tmp_path, **kwargs):
+    """An app whose every job blocks on one shared flag file."""
+    flag = tmp_path / "open-gate"
+    hub = MetricsHub()
+    scheduler = JobScheduler(
+        cache=None,
+        hub=hub,
+        workers=kwargs.pop("workers", 1),
+        max_depth=kwargs.pop("max_depth", 64),
+        build_tasks=lambda spec: [
+            GateTask(f"gate-{spec.benchmark}-{spec.spes[0]}", str(flag))
+        ],
+    )
+    app, client = serve_factory(scheduler=scheduler, hub=hub, **kwargs)
+    return app, client, flag
+
+
+class TestBasics:
+    def test_healthz(self, serve_factory):
+        _, client = serve_factory()
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+        assert health["queued"] == 0 and health["active"] == 0
+        assert health["cache"] is not None
+
+    def test_unknown_endpoint_is_404(self, serve_factory):
+        _, client = serve_factory()
+        with pytest.raises(ServeError) as exc:
+            client._request("GET", "/v2/nope")
+        assert exc.value.status == 404
+
+    def test_wrong_method_is_405(self, serve_factory):
+        _, client = serve_factory()
+        with pytest.raises(ServeError) as exc:
+            client._request("PUT", "/v1/jobs", body={})
+        assert exc.value.status == 405
+
+    def test_unparseable_body_is_400(self, serve_factory):
+        app, client = serve_factory()
+        import http.client as hc
+
+        conn = hc.HTTPConnection("127.0.0.1", app.bound_port, timeout=10)
+        try:
+            conn.request("POST", "/v1/jobs", body=b"{nope",
+                         headers={"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            assert resp.status == 400
+            assert b"not valid JSON" in resp.read()
+        finally:
+            conn.close()
+
+    def test_protocol_violation_is_400_naming_the_field(self, serve_factory):
+        _, client = serve_factory()
+        with pytest.raises(ServeError) as exc:
+            client.submit_request({
+                "v": 1, "kind": "run",
+                "params": {"benchmark": "bitcnt", "threshold": 7},
+            })
+        assert exc.value.status == 400
+        assert "threshold" in str(exc.value)
+
+    def test_unknown_job_is_404_everywhere(self, serve_factory):
+        _, client = serve_factory()
+        for method, path in [
+            ("GET", "/v1/jobs/j-999999"),
+            ("GET", "/v1/jobs/j-999999/result"),
+            ("DELETE", "/v1/jobs/j-999999"),
+        ]:
+            with pytest.raises(ServeError) as exc:
+                client._request(method, path)
+            assert exc.value.status == 404
+
+
+class TestJobFlow:
+    def test_submit_wait_result(self, serve_factory):
+        _, client = serve_factory()
+        job = client.submit("run", "bitcnt", scale="test", spes=1,
+                            client="flow")
+        assert job["state"] in ("queued", "running")
+        final = client.wait(job["id"], timeout=120)
+        assert final["state"] == "done"
+        assert final["retries"] == 0
+        payload = client.result(job["id"])
+        assert payload["schema_version"] == 1
+        assert payload["kind"] == "run"
+        assert payload["run"]["cycles"] > 0
+        listed = client.jobs(client="flow")
+        assert [j["id"] for j in listed] == [job["id"]]
+        assert client.jobs(client="nobody") == []
+
+    def test_event_stream_is_ordered_and_resumable(self, serve_factory):
+        _, client = serve_factory()
+        job = client.submit("run", "bitcnt", scale="test", spes=1)
+        events = list(client.events(job["id"]))
+        names = [e["event"] for e in events]
+        assert names[0] == "queued"
+        assert "running" in names
+        assert names[-1] == "done"
+        assert [e["seq"] for e in events] == list(range(len(events)))
+        # resuming mid-stream replays only the tail
+        tail = list(client.events(job["id"], start=events[-1]["seq"]))
+        assert [e["event"] for e in tail] == ["done"]
+
+    def test_result_while_running_is_409(self, serve_factory, tmp_path):
+        _, client, flag = gated_app(serve_factory, tmp_path)
+        job = client.submit("run", "bitcnt", scale="test", spes=1)
+        with pytest.raises(ServeError) as exc:
+            client.result(job["id"])
+        assert exc.value.status == 409
+        flag.touch()
+        final = client.wait(job["id"], timeout=60)
+        # the gate task fails deliberately: the failure surfaces as 500
+        assert final["state"] == "failed"
+        with pytest.raises(ServeError) as exc:
+            client.result(job["id"])
+        assert exc.value.status == 500
+
+    def test_cancel_queued_job(self, serve_factory, tmp_path):
+        _, client, flag = gated_app(serve_factory, tmp_path)
+        running = client.submit("run", "bitcnt", scale="test", spes=1)
+        queued = client.submit("run", "bitcnt", scale="test", spes=2)
+        out = client.cancel(queued["id"])
+        assert out["cancelled"] is True
+        out = client.cancel(running["id"])
+        assert out["cancelled"] is False and "running" in out["reason"]
+        status = client.status(queued["id"])
+        assert status["state"] == "cancelled"
+        flag.touch()
+        client.wait(running["id"], timeout=60)
+
+
+class TestAdmissionAndDrain:
+    def test_overload_maps_to_503_with_retry_after(
+        self, serve_factory, tmp_path
+    ):
+        _, client, flag = gated_app(
+            serve_factory, tmp_path, workers=1, max_depth=1,
+        )
+        client.submit("run", "bitcnt", scale="test", spes=1)  # running
+        client.submit("run", "bitcnt", scale="test", spes=2)  # queued
+        with pytest.raises(ServeError) as exc:
+            client.submit("run", "bitcnt", scale="test", spes=4)
+        assert exc.value.status == 503
+        assert exc.value.retry_after >= 1  # the Retry-After header
+        flag.touch()
+
+    def test_draining_server_refuses_new_jobs(self, serve_factory, tmp_path):
+        import time
+
+        app, client, flag = gated_app(serve_factory, tmp_path, workers=1)
+        accepted = client.submit("run", "bitcnt", scale="test", spes=1)
+        app.request_drain()
+        deadline = time.monotonic() + 10
+        while not app.scheduler.draining:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        with pytest.raises(ServeError) as exc:
+            client.submit("run", "bitcnt", scale="test", spes=2)
+        assert exc.value.status == 503
+        # The job accepted before the drain still settles.  Attach the
+        # event stream *before* releasing the gate: once the job settles
+        # the drain completes and the server closes its socket.
+        stream = client.events(accepted["id"])
+        names = [next(stream)["event"]]
+        flag.touch()
+        names += [e["event"] for e in stream]
+        assert names[-1] == "failed"  # gate task's payload raises
+        record = app.scheduler.records[accepted["id"]]
+        assert record.state == "failed"  # settled, not dropped
+
+
+class TestMetricsz:
+    def test_prometheus_text_counts_the_lifecycle(self, serve_factory):
+        _, client = serve_factory()
+        job = client.submit("run", "bitcnt", scale="test", spes=1)
+        client.wait(job["id"], timeout=120)
+        text = client.metrics()
+        metrics = {}
+        for line in text.splitlines():
+            if line.startswith("#") or not line.strip():
+                continue
+            name, value = line.rsplit(" ", 1)
+            metrics[name] = float(value)
+        assert metrics["repro_serve_jobs_submitted_total"] == 1
+        assert metrics["repro_serve_jobs_done_total"] == 1
+        assert metrics["repro_serve_admitted_total"] == 1
+        assert metrics["repro_serve_queue_depth"] == 0
+        assert metrics["repro_serve_jobs_active"] == 0
+        assert metrics["repro_serve_draining"] == 0
+        assert metrics["repro_serve_http_requests_total"] >= 3
+        # exposition format: TYPE comment precedes every sample
+        lines = text.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("# TYPE"):
+                assert lines[i + 1].split(" ")[0] == line.split(" ")[2]

@@ -1,0 +1,158 @@
+"""Request validation: strict, eager, and names the offending field."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.export import SCHEMA_VERSION as EXPORT_SCHEMA_VERSION
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    SCHEMA_VERSION,
+    ProtocolError,
+    build_tasks,
+    job_key,
+    parse_request,
+)
+
+
+def req(**overrides) -> dict:
+    base = {
+        "v": 1,
+        "kind": "sweep",
+        "client": "alice",
+        "params": {"benchmark": "bitcnt", "scale": "test", "spes": [1, 2]},
+    }
+    base.update(overrides)
+    return base
+
+
+class TestParse:
+    def test_minimal_run_request_fills_defaults(self):
+        parsed = parse_request({
+            "v": 1, "kind": "run",
+            "params": {"benchmark": "mmul", "scale": "test"},
+        })
+        assert parsed.client == "anonymous"
+        assert parsed.priority == 5
+        assert parsed.spec.spes == (8,)
+        assert parsed.spec.prefetch is True
+        assert parsed.spec.threshold == 0.5
+
+    def test_sweep_defaults_to_paper_axis(self):
+        parsed = parse_request({
+            "v": 1, "kind": "sweep",
+            "params": {"benchmark": "mmul", "scale": "test"},
+        })
+        assert parsed.spec.spes == (1, 2, 4, 8)
+
+    def test_schema_version_is_the_export_constant(self):
+        assert SCHEMA_VERSION == EXPORT_SCHEMA_VERSION
+
+    @pytest.mark.parametrize("payload, fragment", [
+        ("not a dict", "JSON object"),
+        (req(v=2), "protocol version"),
+        (req(v=None), "protocol version"),
+        ({"kind": "run"}, "protocol version"),
+        (req(kind="train"), "kind"),
+        (req(extra=1), "unknown request key"),
+        (req(client=""), "client"),
+        (req(client="x" * 200), "client"),
+        (req(priority="high"), "priority"),
+        (req(priority=10), "priority"),
+        (req(priority=True), "priority"),
+        (req(params="nope"), "params"),
+        (req(params={"benchmark": "bitcnt", "bogus": 1}), "unknown params"),
+        (req(params={"benchmark": "nope"}), "benchmark"),
+        (req(params={}), "benchmark"),
+        (req(params={"benchmark": "bitcnt", "scale": "galactic"}), "scale"),
+        (req(params={"benchmark": "bitcnt", "threshold": 2.0}), "threshold"),
+        (req(params={"benchmark": "bitcnt", "threshold": "hot"}),
+         "threshold"),
+        (req(params={"benchmark": "bitcnt", "spes": []}), "spes"),
+        (req(params={"benchmark": "bitcnt", "spes": [1, 1]}), "repeats"),
+        (req(params={"benchmark": "bitcnt", "spes": [0]}), "spes"),
+        (req(params={"benchmark": "bitcnt", "spes": [64]}), "spes"),
+        (req(params={"benchmark": "bitcnt", "spes": ["two"]}), "spes"),
+        (req(params={"benchmark": "bitcnt",
+                     "spes": list(range(1, 30))}), "points"),
+        (req(params={"benchmark": "bitcnt", "latency": 0}), "latency"),
+        (req(params={"benchmark": "bitcnt", "faults": 12}), "faults"),
+        (req(params={"benchmark": "bitcnt",
+                     "faults": "seed=1,bogus_knob=1"}), "faults"),
+        (req(kind="run", params={"benchmark": "bitcnt", "spes": [1, 2]}),
+         "single integer"),
+        (req(kind="run",
+             params={"benchmark": "bitcnt", "prefetch": "yes"}), "prefetch"),
+        # run/profile-only keys are rejected on a sweep
+        (req(params={"benchmark": "bitcnt", "prefetch": True}),
+         "unknown params"),
+        (req(params={"benchmark": "bitcnt", "bucket_cycles": 10}),
+         "unknown params"),
+    ])
+    def test_bad_requests_are_rejected_eagerly(self, payload, fragment):
+        with pytest.raises(ProtocolError, match=fragment):
+            parse_request(payload)
+
+    def test_valid_fault_spec_is_accepted_verbatim(self):
+        parsed = parse_request(req(params={
+            "benchmark": "bitcnt", "scale": "test",
+            "faults": "seed=3,dma_drop=0.05",
+        }))
+        assert parsed.spec.faults == "seed=3,dma_drop=0.05"
+
+    def test_round_trips_through_to_dict(self):
+        parsed = parse_request(req(priority=2))
+        again = parse_request(parsed.to_dict())
+        assert again == parsed
+
+
+class TestTasksAndKeys:
+    def _spec(self, **overrides):
+        payload = req()
+        payload["params"].update(overrides)
+        return parse_request(payload).spec
+
+    def test_sweep_builds_a_pair_per_spe_point(self):
+        tasks = build_tasks(self._spec())
+        assert len(tasks) == 4  # (base, prefetch) x {1, 2}
+        labels = [t.label for t in tasks]
+        assert sum("base" in l for l in labels) == 2
+        assert sum("prefetch" in l for l in labels) == 2
+
+    def test_run_builds_one_task(self):
+        spec = parse_request({
+            "v": 1, "kind": "run",
+            "params": {"benchmark": "bitcnt", "scale": "test", "spes": 2},
+        }).spec
+        tasks = build_tasks(spec)
+        assert len(tasks) == 1
+        assert tasks[0].prefetch is True
+
+    def test_job_key_ignores_client_and_priority(self):
+        a = parse_request(req(client="alice", priority=0))
+        b = parse_request(req(client="bob", priority=9))
+        assert job_key(a.spec, build_tasks(a.spec)) == \
+            job_key(b.spec, build_tasks(b.spec))
+
+    def test_job_key_sees_simulation_inputs(self):
+        base = self._spec()
+        key = job_key(base, build_tasks(base))
+        for changed in (
+            self._spec(spes=[1, 4]),
+            self._spec(latency=1),
+            self._spec(threshold=0.9),
+            self._spec(faults="seed=1,dma_drop=0.01"),
+        ):
+            assert job_key(changed, build_tasks(changed)) != key
+
+    def test_job_key_distinguishes_kinds_over_same_tasks(self):
+        run = parse_request({
+            "v": 1, "kind": "run",
+            "params": {"benchmark": "bitcnt", "scale": "test", "spes": 1},
+        }).spec
+        profile = parse_request({
+            "v": 1, "kind": "profile",
+            "params": {"benchmark": "bitcnt", "scale": "test", "spes": 1},
+        }).spec
+        assert job_key(run, build_tasks(run)) != \
+            job_key(profile, build_tasks(profile))

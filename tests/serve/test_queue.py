@@ -1,0 +1,126 @@
+"""JobQueue: priority, per-client fairness, bounds, lazy cancellation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.obs.hub import MetricsHub
+from repro.serve.queue import JobQueue, QueueFull
+
+
+@dataclass
+class FakeRequest:
+    client: str
+    priority: int = 5
+
+
+@dataclass
+class FakeRecord:
+    id: str
+    request: FakeRequest = field(default_factory=lambda: FakeRequest("a"))
+
+
+def rec(job_id: str, client: str = "a", priority: int = 5) -> FakeRecord:
+    return FakeRecord(job_id, FakeRequest(client, priority))
+
+
+class TestOrdering:
+    def test_fifo_within_one_client(self):
+        q = JobQueue()
+        for i in range(3):
+            q.push(rec(f"j{i}"))
+        assert [q.pop().id for _ in range(3)] == ["j0", "j1", "j2"]
+        assert q.pop() is None
+
+    def test_priority_beats_submission_order(self):
+        q = JobQueue()
+        q.push(rec("slow", priority=9))
+        q.push(rec("urgent", priority=0))
+        assert q.pop().id == "urgent"
+        assert q.pop().id == "slow"
+
+    def test_clients_are_interleaved_fairly(self):
+        q = JobQueue()
+        for i in range(3):
+            q.push(rec(f"h{i}", client="hog"))
+        q.push(rec("g0", client="guest"))
+        q.push(rec("g1", client="guest"))
+        order = [q.pop().id for _ in range(5)]
+        # The hog's backlog cannot starve the guest: strict alternation
+        # until the guest's jobs are exhausted.
+        assert order == ["h0", "g0", "h1", "g1", "h2"]
+
+    def test_priority_still_beats_fairness(self):
+        q = JobQueue()
+        q.push(rec("h0", client="hog"))
+        q.push(rec("h1", client="hog", priority=0))
+        q.push(rec("g0", client="guest"))
+        # hog's priority-0 job outranks the guest despite fairness.
+        assert [q.pop().id for _ in range(3)] == ["h1", "g0", "h0"]
+
+
+class TestAdmission:
+    def test_push_beyond_depth_raises_queue_full(self):
+        q = JobQueue(max_depth=2)
+        q.push(rec("a1"))
+        q.push(rec("a2"))
+        with pytest.raises(QueueFull) as exc:
+            q.push(rec("a3"))
+        assert exc.value.depth == 2
+        assert exc.value.retry_after >= 1
+        assert len(q) == 2  # the rejected job left no trace
+
+    def test_retry_after_scales_with_backlog_and_durations(self):
+        q = JobQueue(max_depth=100, workers=1)
+        for _ in range(20):
+            q.note_duration(10.0)
+        shallow = q.retry_after()
+        for i in range(50):
+            q.push(rec(f"j{i}"))
+        assert q.retry_after() > shallow
+
+    def test_bad_depth_is_rejected(self):
+        with pytest.raises(ValueError):
+            JobQueue(max_depth=0)
+
+
+class TestRemove:
+    def test_removed_job_is_never_popped(self):
+        q = JobQueue()
+        q.push(rec("j0"))
+        q.push(rec("j1"))
+        assert q.remove("j0")
+        assert q.pop().id == "j1"
+        assert q.pop() is None
+
+    def test_remove_unknown_or_popped_returns_false(self):
+        q = JobQueue()
+        q.push(rec("j0"))
+        popped = q.pop()
+        assert popped.id == "j0"
+        assert not q.remove("j0")
+        assert not q.remove("ghost")
+
+
+class TestMetrics:
+    def test_hub_sees_admissions_rejections_and_depth(self):
+        hub = MetricsHub()
+        q = JobQueue(max_depth=1, hub=hub)
+        q.push(rec("j0"))
+        with pytest.raises(QueueFull):
+            q.push(rec("j1"))
+        q.pop()
+        assert hub.counters["serve.admitted"].value == 1
+        assert hub.counters["serve.rejected"].value == 1
+        assert hub.gauges["serve.queue_depth"].last == 0
+        assert hub.gauges["serve.queue_depth"].peak == 1
+
+    def test_depths_reports_live_entries_per_client(self):
+        q = JobQueue()
+        q.push(rec("j0", client="a"))
+        q.push(rec("j1", client="a"))
+        q.push(rec("j2", client="b"))
+        q.remove("j1")
+        assert q.depths() == {"a": 1, "b": 1}
